@@ -1,0 +1,66 @@
+/// Ablation of the GP-UCB exploration schedule: the practical Algorithm-1
+/// beta_t = log(K t^2 / delta) vs the Theorem-1 theoretical schedule
+/// beta_t = 2 c* log(pi^2 K t^2 / (6 delta)). Theory requires the larger
+/// beta for the high-probability bound; practice over-explores with it.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunProtocol;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options(bool theoretical) {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 0.5;
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = true;
+  opts.theoretical_beta = theoretical;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "ABLATION-BETA",
+      "Practical vs theoretical beta schedule (DEEPLEARNING, cost-aware)");
+  const auto ds = easeml::benchutil::DeepLearning();
+  std::vector<easeml::core::StrategyResult> results;
+  for (bool theoretical : {false, true}) {
+    auto r = RunProtocol(ds, StrategyKind::kEaseMl, Options(theoretical));
+    EASEML_CHECK(r.ok()) << r.status().ToString();
+    r->strategy_name = theoretical ? "ease.ml theoretical-beta"
+                                   : "ease.ml practical-beta";
+    results.push_back(std::move(*r));
+  }
+  easeml::benchutil::PrintCurvesCsv("ABLATION-BETA", ds.name,
+                                    "pct_total_cost", results);
+  easeml::benchutil::PrintSummaryTable(ds.name, results, {0.05, 0.02});
+}
+
+void BM_TheoreticalBetaRep(benchmark::State& state) {
+  const auto ds = easeml::benchutil::DeepLearning();
+  ProtocolOptions opts = Options(true);
+  opts.num_reps = 1;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = RunProtocol(ds, StrategyKind::kEaseMl, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TheoreticalBetaRep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

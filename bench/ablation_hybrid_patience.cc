@@ -1,0 +1,65 @@
+/// Ablation of the HYBRID freeze patience s (Section 4.4; the paper fixes
+/// s = 10). Small s switches to ROUNDROBIN almost immediately (forfeiting
+/// GREEDY's early advantage); huge s never switches (inheriting GREEDY's
+/// freezing stage).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunProtocol;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options(int patience) {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 1.0;  // run long enough for freezing to matter
+  opts.hybrid_patience = patience;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "ABLATION-PATIENCE", "HYBRID freeze patience s (179CLASSIFIER)");
+  const auto ds = easeml::benchutil::Classifier179();
+  std::vector<easeml::core::StrategyResult> results;
+  for (int patience : {1, 5, 10, 25, 1000000}) {
+    auto r = RunProtocol(ds, StrategyKind::kEaseMl, Options(patience));
+    EASEML_CHECK(r.ok()) << r.status().ToString();
+    r->strategy_name = patience >= 1000000
+                           ? "hybrid s=inf (pure greedy)"
+                           : "hybrid s=" + std::to_string(patience);
+    results.push_back(std::move(*r));
+  }
+  easeml::benchutil::PrintCurvesCsv("ABLATION-PATIENCE", ds.name,
+                                    "pct_runs", results);
+  easeml::benchutil::PrintSummaryTable(ds.name, results, {0.02, 0.01});
+}
+
+void BM_HybridPatience10Rep(benchmark::State& state) {
+  const auto ds = easeml::benchutil::Classifier179();
+  ProtocolOptions opts = Options(10);
+  opts.num_reps = 1;
+  opts.budget_fraction = 0.25;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = RunProtocol(ds, StrategyKind::kEaseMl, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HybridPatience10Rep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

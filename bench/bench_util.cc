@@ -1,0 +1,118 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "data/classifier179.h"
+#include "data/deeplearning.h"
+#include "data/synthetic_generator.h"
+#include "sim/metrics.h"
+
+namespace easeml::benchutil {
+
+data::Dataset DeepLearning() {
+  auto ds = data::GenerateDeepLearning(data::DeepLearningOptions());
+  EASEML_CHECK(ds.ok()) << ds.status().ToString();
+  return std::move(ds).value();
+}
+
+data::Dataset Classifier179() {
+  auto ds = data::GenerateClassifier179(data::Classifier179Options());
+  EASEML_CHECK(ds.ok()) << ds.status().ToString();
+  return std::move(ds).value();
+}
+
+std::vector<data::Dataset> AllSixDatasets() {
+  std::vector<data::Dataset> out;
+  out.push_back(DeepLearning());
+  out.push_back(Classifier179());
+  // The four SYN(sigma_M, alpha) datasets of Figure 8: 200 users x 100
+  // models.
+  for (double sigma_m : {0.01, 0.5}) {
+    for (double alpha : {0.1, 1.0}) {
+      data::SimpleSynOptions opts;
+      opts.sigma_m = sigma_m;
+      opts.alpha = alpha;
+      auto ds = data::GenerateSimpleSyn(opts);
+      EASEML_CHECK(ds.ok()) << ds.status().ToString();
+      out.push_back(std::move(ds).value());
+    }
+  }
+  return out;
+}
+
+int BenchReps(int fallback) {
+  const char* env = std::getenv("EASEML_BENCH_REPS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+void PrintFigureHeader(const std::string& figure_id,
+                       const std::string& title) {
+  std::cout << "\n=== " << figure_id << ": " << title << " ===\n";
+}
+
+void PrintCurvesCsv(const std::string& figure_id, const std::string& dataset,
+                    const std::string& x_label,
+                    const std::vector<core::StrategyResult>& results) {
+  CsvWriter csv(std::cout, {"figure", "dataset", "x_label", "x", "series",
+                            "metric", "value"});
+  for (const auto& r : results) {
+    for (size_t i = 0; i < r.curves.grid.size(); ++i) {
+      // Thin the output: every 5th grid point is enough to replot.
+      if (i % 5 != 0 && i + 1 != r.curves.grid.size()) continue;
+      const std::string x = Table::FormatDouble(r.curves.grid[i], 2);
+      (void)csv.WriteRow({figure_id, dataset, x_label, x, r.strategy_name,
+                          "avg_loss",
+                          Table::FormatDouble(r.curves.mean[i], 5)});
+      (void)csv.WriteRow({figure_id, dataset, x_label, x, r.strategy_name,
+                          "worst_loss",
+                          Table::FormatDouble(r.curves.worst[i], 5)});
+    }
+  }
+}
+
+void PrintSummaryTable(const std::string& dataset,
+                       const std::vector<core::StrategyResult>& results,
+                       const std::vector<double>& target_losses) {
+  Table table({"dataset", "strategy", "final_avg_loss", "final_worst_loss",
+               "auc"});
+  for (const auto& r : results) {
+    table.AddRow({dataset, r.strategy_name,
+                  Table::FormatDouble(r.curves.mean.back(), 5),
+                  Table::FormatDouble(r.curves.worst.back(), 5),
+                  Table::FormatDouble(r.mean_auc, 5)});
+  }
+  table.Print(std::cout);
+  if (results.size() < 2) return;
+  // Auto target: just above the worst final loss, so every strategy's mean
+  // curve crosses it and the headline speedup is always defined.
+  double auto_target = 0.0;
+  for (const auto& r : results) {
+    auto_target = std::max(auto_target, r.curves.mean.back());
+  }
+  auto_target += 0.005;
+  std::vector<double> targets = target_losses;
+  targets.push_back(auto_target);
+  for (double target : targets) {
+    for (size_t i = 1; i < results.size(); ++i) {
+      auto speedup = sim::SpeedupToReach(results[0].curves,
+                                         results[i].curves, target);
+      std::cout << "speedup(" << results[0].strategy_name << " vs "
+                << results[i].strategy_name << ", target avg loss "
+                << target << "): "
+                << (speedup.ok() ? Table::FormatDouble(*speedup, 2) + "x"
+                                 : std::string("n/a (target not reached)"))
+                << "\n";
+    }
+  }
+}
+
+}  // namespace easeml::benchutil

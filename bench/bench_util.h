@@ -1,0 +1,46 @@
+#ifndef EASEML_BENCH_BENCH_UTIL_H_
+#define EASEML_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment_runner.h"
+#include "data/dataset.h"
+
+namespace easeml::benchutil {
+
+/// The six benchmark datasets of Figure 8, at paper-scale sizes.
+std::vector<data::Dataset> AllSixDatasets();
+
+/// The DEEPLEARNING surrogate alone (used by Figures 9, 13, 14).
+data::Dataset DeepLearning();
+
+/// The 179CLASSIFIER surrogate alone (used by Figure 15).
+data::Dataset Classifier179();
+
+/// Number of experiment repetitions: EASEML_BENCH_REPS env override, else
+/// `fallback` (the paper uses 50).
+int BenchReps(int fallback = 50);
+
+/// Prints a banner identifying the reproduced figure.
+void PrintFigureHeader(const std::string& figure_id,
+                       const std::string& title);
+
+/// Prints the figure's series as CSV rows
+///   figure,dataset,x_label,x,series,metric,value
+/// with metric in {avg_loss, worst_loss} — the two columns the paper plots.
+void PrintCurvesCsv(const std::string& figure_id, const std::string& dataset,
+                    const std::string& x_label,
+                    const std::vector<core::StrategyResult>& results);
+
+/// Prints a per-strategy summary table (final losses and AUC) plus the
+/// speedup of the first strategy over each other strategy in reaching each
+/// target loss (the paper's headline "N.Nx faster" metric). Targets a
+/// strategy never reaches print as "n/a".
+void PrintSummaryTable(const std::string& dataset,
+                       const std::vector<core::StrategyResult>& results,
+                       const std::vector<double>& target_losses);
+
+}  // namespace easeml::benchutil
+
+#endif  // EASEML_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+/// Reproduces Figure 8: statistics of the six benchmark datasets, plus the
+/// quality/cost distribution summaries shown in the third columns of
+/// Figures 10 and 11.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "common/table.h"
+#include "data/deeplearning.h"
+#include "data/synthetic_generator.h"
+
+namespace {
+
+using easeml::Table;
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader("FIG8", "Statistics of Datasets");
+  Table table({"dataset", "#users", "#models", "quality", "cost",
+               "mean_quality", "std_quality", "mean_cost", "max/min_cost"});
+  const auto datasets = easeml::benchutil::AllSixDatasets();
+  for (const auto& ds : datasets) {
+    std::vector<double> q, c;
+    q.reserve(static_cast<size_t>(ds.num_users()) * ds.num_models());
+    for (int i = 0; i < ds.num_users(); ++i) {
+      for (int j = 0; j < ds.num_models(); ++j) {
+        q.push_back(ds.quality(i, j));
+        c.push_back(ds.cost(i, j));
+      }
+    }
+    const bool real = ds.name == "DEEPLEARNING";
+    const bool real_q = real || ds.name == "179CLASSIFIER";
+    table.AddRow({ds.name, std::to_string(ds.num_users()),
+                  std::to_string(ds.num_models()),
+                  real_q ? "Real*" : "Synthetic",
+                  real ? "Real*" : "Synthetic",
+                  Table::FormatDouble(easeml::Mean(q), 3),
+                  Table::FormatDouble(easeml::StdDev(q), 3),
+                  Table::FormatDouble(easeml::Mean(c), 3),
+                  Table::FormatDouble(easeml::Max(c) / easeml::Min(c), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "* calibrated surrogates for the paper's real logs "
+               "(see DESIGN.md, substitutions)\n";
+}
+
+void BM_GenerateDeepLearning(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ds =
+        easeml::data::GenerateDeepLearning(easeml::data::DeepLearningOptions());
+    benchmark::DoNotOptimize(ds);
+  }
+}
+BENCHMARK(BM_GenerateDeepLearning);
+
+void BM_GenerateSyn200x100(benchmark::State& state) {
+  for (auto _ : state) {
+    easeml::data::SimpleSynOptions opts;
+    opts.sigma_m = 0.5;
+    opts.alpha = 1.0;
+    auto ds = easeml::data::GenerateSimpleSyn(opts);
+    benchmark::DoNotOptimize(ds);
+  }
+}
+BENCHMARK(BM_GenerateSyn200x100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

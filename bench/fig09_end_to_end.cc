@@ -1,0 +1,68 @@
+/// Reproduces Figure 9: end-to-end performance of ease.ml on DEEPLEARNING
+/// against the two heuristics users ran before ease.ml existed (most-cited
+/// network first, most recently published network first; both round-robin
+/// across users). x-axis: % of total cost; 10% total-runtime budget; 10 test
+/// users; 50 repetitions. The paper's headline: up to 9.8x faster on average
+/// accuracy loss, 3.1x on worst-case.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunStrategies;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options() {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 0.10;  // "we run it for 10% of the total runtime"
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = true;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "FIG9", "End-to-end: ease.ml vs MOSTCITED / MOSTRECENT "
+              "(DEEPLEARNING, cost-aware)");
+  const auto ds = easeml::benchutil::DeepLearning();
+  auto results = RunStrategies(ds,
+                               {StrategyKind::kEaseMl,
+                                StrategyKind::kMostCited,
+                                StrategyKind::kMostRecent},
+                               Options());
+  EASEML_CHECK(results.ok()) << results.status().ToString();
+  easeml::benchutil::PrintCurvesCsv("FIG9", ds.name, "pct_total_cost",
+                                    *results);
+  easeml::benchutil::PrintSummaryTable(ds.name, *results,
+                                       {0.10, 0.06, 0.02});
+}
+
+void BM_EaseMlEndToEndRep(benchmark::State& state) {
+  const auto ds = easeml::benchutil::DeepLearning();
+  ProtocolOptions opts = Options();
+  opts.num_reps = 1;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = easeml::core::RunProtocol(ds, StrategyKind::kEaseMl, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EaseMlEndToEndRep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

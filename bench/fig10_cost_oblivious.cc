@@ -1,0 +1,65 @@
+/// Reproduces Figure 10: the cost-oblivious multi-tenant case. For each of
+/// the six datasets, average and worst-case accuracy loss of ease.ml vs
+/// ROUNDROBIN vs RANDOM (all running GP-UCB inside each user) as a function
+/// of % of runs, with a 50%-of-all-models budget.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunStrategies;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options() {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 0.5;  // "train 50% of all available models"
+  opts.cost_aware_budget = false;
+  opts.cost_aware_policy = false;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "FIG10", "Cost-oblivious multi-tenant model selection (six datasets)");
+  for (const auto& ds : easeml::benchutil::AllSixDatasets()) {
+    auto results = RunStrategies(ds,
+                                 {StrategyKind::kEaseMl,
+                                  StrategyKind::kRoundRobin,
+                                  StrategyKind::kRandom},
+                                 Options());
+    EASEML_CHECK(results.ok()) << results.status().ToString();
+    easeml::benchutil::PrintCurvesCsv("FIG10", ds.name, "pct_runs",
+                                      *results);
+    easeml::benchutil::PrintSummaryTable(ds.name, *results,
+                                         {0.10, 0.05, 0.02});
+  }
+}
+
+void BM_CostObliviousRepSyn(benchmark::State& state) {
+  const auto datasets = easeml::benchutil::AllSixDatasets();
+  ProtocolOptions opts = Options();
+  opts.num_reps = 1;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = easeml::core::RunProtocol(datasets[2], StrategyKind::kEaseMl,
+                                       opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CostObliviousRepSyn);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

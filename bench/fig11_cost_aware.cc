@@ -1,0 +1,64 @@
+/// Reproduces Figure 11: the cost-aware multi-tenant case — the realistic
+/// scenario ease.ml is designed for. Same lineup as Figure 10 but all
+/// algorithms use the cost-aware index and the x-axis/budget is % of total
+/// cost.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunStrategies;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options() {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 0.5;
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = true;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "FIG11", "Cost-aware multi-tenant model selection (six datasets)");
+  for (const auto& ds : easeml::benchutil::AllSixDatasets()) {
+    auto results = RunStrategies(ds,
+                                 {StrategyKind::kEaseMl,
+                                  StrategyKind::kRoundRobin,
+                                  StrategyKind::kRandom},
+                                 Options());
+    EASEML_CHECK(results.ok()) << results.status().ToString();
+    easeml::benchutil::PrintCurvesCsv("FIG11", ds.name, "pct_total_cost",
+                                      *results);
+    easeml::benchutil::PrintSummaryTable(ds.name, *results,
+                                         {0.10, 0.05, 0.02});
+  }
+}
+
+void BM_CostAwareRepDeepLearning(benchmark::State& state) {
+  const auto ds = easeml::benchutil::DeepLearning();
+  ProtocolOptions opts = Options();
+  opts.num_reps = 1;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = easeml::core::RunProtocol(ds, StrategyKind::kEaseMl, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CostAwareRepDeepLearning);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Reproduces Figure 13 (lesion study): the impact of cost-awareness.
+/// DEEPLEARNING with a cost budget; ease.ml with the cost-aware index
+/// sqrt(beta/c) vs ease.ml with the index disabled (c == 1 inside GP-UCB).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunProtocol;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options(bool cost_aware_policy) {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 0.10;
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = cost_aware_policy;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "FIG13", "Lesion study: cost-awareness on DEEPLEARNING");
+  const auto ds = easeml::benchutil::DeepLearning();
+  auto aware = RunProtocol(ds, StrategyKind::kEaseMl, Options(true));
+  EASEML_CHECK(aware.ok()) << aware.status().ToString();
+  auto oblivious = RunProtocol(ds, StrategyKind::kEaseMl, Options(false));
+  EASEML_CHECK(oblivious.ok()) << oblivious.status().ToString();
+  oblivious->strategy_name = "ease.ml w/o cost";
+  std::vector<easeml::core::StrategyResult> results;
+  results.push_back(std::move(*aware));
+  results.push_back(std::move(*oblivious));
+  easeml::benchutil::PrintCurvesCsv("FIG13", ds.name, "pct_total_cost",
+                                    results);
+  easeml::benchutil::PrintSummaryTable(ds.name, results,
+                                       {0.10, 0.06, 0.02});
+}
+
+void BM_CostAwareLesionRep(benchmark::State& state) {
+  const auto ds = easeml::benchutil::DeepLearning();
+  ProtocolOptions opts = Options(false);
+  opts.num_reps = 1;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = RunProtocol(ds, StrategyKind::kEaseMl, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CostAwareLesionRep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

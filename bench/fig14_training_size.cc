@@ -1,0 +1,71 @@
+/// Reproduces Figure 14: the impact of the training-set size on the GP
+/// kernel. The kernel (and the empirical-Bayes prior mean) is computed from
+/// 10% / 50% / 100% of the training users' logs; more logs give a better
+/// prior, with diminishing returns between 50% and 100%.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunProtocol;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options(double fraction) {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 0.10;
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = true;
+  opts.kernel_train_fraction = fraction;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "FIG14", "Impact of training-set size on the GP kernel "
+               "(DEEPLEARNING, cost-aware)");
+  const auto ds = easeml::benchutil::DeepLearning();
+  std::vector<easeml::core::StrategyResult> results;
+  for (double fraction : {0.1, 0.5, 1.0}) {
+    auto r = RunProtocol(ds, StrategyKind::kEaseMl, Options(fraction));
+    EASEML_CHECK(r.ok()) << r.status().ToString();
+    r->strategy_name =
+        "ease.ml " + std::to_string(static_cast<int>(fraction * 100)) + "%";
+    results.push_back(std::move(*r));
+  }
+  easeml::benchutil::PrintCurvesCsv("FIG14", ds.name, "pct_total_cost",
+                                    results);
+  easeml::benchutil::PrintSummaryTable(ds.name, results,
+                                       {0.10, 0.06, 0.02});
+  std::cout << "Expected shape: 100% >= 50% >> 10% (diminishing returns "
+               "between 50% and 100%).\n";
+}
+
+void BM_KernelFromLogsRep(benchmark::State& state) {
+  const auto ds = easeml::benchutil::DeepLearning();
+  ProtocolOptions opts = Options(0.5);
+  opts.num_reps = 1;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = RunProtocol(ds, StrategyKind::kEaseMl, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KernelFromLogsRep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Reproduces Figure 15 (lesion study): the impact of hybrid execution.
+/// 179CLASSIFIER, cost-oblivious, full run budget: GREEDY leads early,
+/// ROUNDROBIN overtakes it late (the GP estimator's modeling error
+/// dominates near the optimum), and HYBRID — which switches from GREEDY to
+/// ROUNDROBIN when the freeze detector fires — tracks the best of both.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/experiment_runner.h"
+
+namespace {
+
+using easeml::core::ProtocolOptions;
+using easeml::core::RunStrategies;
+using easeml::core::StrategyKind;
+
+ProtocolOptions Options() {
+  ProtocolOptions opts;
+  opts.num_test_users = 10;
+  opts.num_reps = easeml::benchutil::BenchReps(50);
+  opts.budget_fraction = 1.0;  // run to the end to expose the crossover
+  opts.cost_aware_budget = false;
+  opts.cost_aware_policy = false;
+  opts.seed = 42;
+  return opts;
+}
+
+void RunFigure() {
+  easeml::benchutil::PrintFigureHeader(
+      "FIG15", "Lesion study: hybrid execution on 179CLASSIFIER "
+               "(cost-oblivious)");
+  const auto ds = easeml::benchutil::Classifier179();
+  auto results = RunStrategies(ds,
+                               {StrategyKind::kEaseMl,  // = HYBRID
+                                StrategyKind::kGreedy,
+                                StrategyKind::kRoundRobin},
+                               Options());
+  EASEML_CHECK(results.ok()) << results.status().ToString();
+  (*results)[0].strategy_name = "hybrid (ease.ml)";
+  easeml::benchutil::PrintCurvesCsv("FIG15", ds.name, "pct_runs", *results);
+  easeml::benchutil::PrintSummaryTable(ds.name, *results,
+                                       {0.05, 0.02, 0.01});
+  std::cout << "Expected shape: greedy < round-robin early, crossover "
+               "late; hybrid best overall (compare avg_loss columns at "
+               "small vs large x).\n";
+}
+
+void BM_HybridRep179(benchmark::State& state) {
+  const auto ds = easeml::benchutil::Classifier179();
+  ProtocolOptions opts = Options();
+  opts.num_reps = 1;
+  opts.budget_fraction = 0.25;
+  opts.tune_hyperparameters = false;
+  for (auto _ : state) {
+    auto r = easeml::core::RunProtocol(ds, StrategyKind::kEaseMl, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HybridRep179);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "bandit/bandit_policy.h"
+
+namespace easeml::bandit {
+
+Status BanditPolicy::ValidateAvailable(
+    const std::vector<int>& available) const {
+  if (available.empty()) {
+    return Status::InvalidArgument("SelectArm: no available arms");
+  }
+  for (int a : available) {
+    if (a < 0 || a >= num_arms()) {
+      return Status::OutOfRange("SelectArm: arm index " + std::to_string(a) +
+                                " out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace easeml::bandit

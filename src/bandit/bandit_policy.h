@@ -1,0 +1,45 @@
+#ifndef EASEML_BANDIT_BANDIT_POLICY_H_
+#define EASEML_BANDIT_BANDIT_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace easeml::bandit {
+
+/// Model-picking policy of a single tenant.
+///
+/// Arms are candidate models. In ease.ml's model-selection setting each arm
+/// is evaluated at most once per user (training a model twice on the same
+/// data yields the same measurement), so `SelectArm` receives the set of
+/// still-available arms and must choose among them.
+///
+/// Protocol per round: `SelectArm(available, t)` then `Update(arm, reward)`.
+/// `t` is the user-local round counter, starting at 1.
+class BanditPolicy {
+ public:
+  virtual ~BanditPolicy() = default;
+
+  /// Total number of arms K.
+  virtual int num_arms() const = 0;
+
+  /// Chooses the next arm among `available` at round `t` (1-based).
+  /// Fails with InvalidArgument if `available` is empty or contains an
+  /// out-of-range index.
+  virtual Result<int> SelectArm(const std::vector<int>& available, int t) = 0;
+
+  /// Incorporates the observed reward of `arm`.
+  virtual Status Update(int arm, double reward) = 0;
+
+  /// Policy name for reports (e.g. "gp-ucb").
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Shared argument validation for SelectArm implementations.
+  Status ValidateAvailable(const std::vector<int>& available) const;
+};
+
+}  // namespace easeml::bandit
+
+#endif  // EASEML_BANDIT_BANDIT_POLICY_H_

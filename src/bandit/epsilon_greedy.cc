@@ -1,0 +1,47 @@
+#include "bandit/epsilon_greedy.h"
+
+#include "common/logging.h"
+
+namespace easeml::bandit {
+
+EpsilonGreedyPolicy::EpsilonGreedyPolicy(int num_arms, double epsilon,
+                                         uint64_t seed)
+    : counts_(num_arms, 0), sums_(num_arms, 0.0), epsilon_(epsilon),
+      rng_(seed) {
+  EASEML_CHECK(num_arms >= 1);
+  EASEML_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+}
+
+Result<int> EpsilonGreedyPolicy::SelectArm(const std::vector<int>& available,
+                                           int t) {
+  (void)t;
+  EASEML_RETURN_NOT_OK(ValidateAvailable(available));
+  for (int a : available) {
+    if (counts_[a] == 0) return a;
+  }
+  if (rng_.Bernoulli(epsilon_)) {
+    return available[rng_.UniformInt(0,
+                                     static_cast<int>(available.size()) - 1)];
+  }
+  int best = available[0];
+  double best_mean = sums_[best] / counts_[best];
+  for (int a : available) {
+    const double m = sums_[a] / counts_[a];
+    if (m > best_mean) {
+      best_mean = m;
+      best = a;
+    }
+  }
+  return best;
+}
+
+Status EpsilonGreedyPolicy::Update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms()) {
+    return Status::OutOfRange("EpsilonGreedy::Update: arm out of range");
+  }
+  ++counts_[arm];
+  sums_[arm] += reward;
+  return Status::OK();
+}
+
+}  // namespace easeml::bandit

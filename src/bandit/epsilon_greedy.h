@@ -1,0 +1,35 @@
+#ifndef EASEML_BANDIT_EPSILON_GREEDY_H_
+#define EASEML_BANDIT_EPSILON_GREEDY_H_
+
+#include <memory>
+#include <vector>
+
+#include "bandit/bandit_policy.h"
+#include "common/rng.h"
+
+namespace easeml::bandit {
+
+/// Epsilon-greedy baseline: with probability epsilon explore a uniformly
+/// random available arm, otherwise exploit the best empirical mean.
+/// Unplayed arms are preferred during the initial sweep (their empirical
+/// mean is undefined).
+class EpsilonGreedyPolicy : public BanditPolicy {
+ public:
+  /// Precondition: num_arms >= 1, epsilon in [0, 1].
+  EpsilonGreedyPolicy(int num_arms, double epsilon, uint64_t seed);
+
+  int num_arms() const override { return static_cast<int>(counts_.size()); }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override { return "epsilon-greedy"; }
+
+ private:
+  std::vector<int> counts_;
+  std::vector<double> sums_;
+  double epsilon_;
+  Rng rng_;
+};
+
+}  // namespace easeml::bandit
+
+#endif  // EASEML_BANDIT_EPSILON_GREEDY_H_

@@ -1,0 +1,54 @@
+#include "bandit/fixed_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace easeml::bandit {
+
+Result<FixedOrderPolicy> FixedOrderPolicy::Create(std::vector<int> order,
+                                                  std::string name) {
+  const int k = static_cast<int>(order.size());
+  if (k == 0) {
+    return Status::InvalidArgument("FixedOrderPolicy: empty order");
+  }
+  std::vector<bool> seen(k, false);
+  for (int a : order) {
+    if (a < 0 || a >= k || seen[a]) {
+      return Status::InvalidArgument(
+          "FixedOrderPolicy: order is not a permutation of [0, K)");
+    }
+    seen[a] = true;
+  }
+  return FixedOrderPolicy(std::move(order), std::move(name));
+}
+
+Result<int> FixedOrderPolicy::SelectArm(const std::vector<int>& available,
+                                        int t) {
+  (void)t;
+  EASEML_RETURN_NOT_OK(ValidateAvailable(available));
+  for (int preferred : order_) {
+    for (int a : available) {
+      if (a == preferred) return a;
+    }
+  }
+  return Status::Internal("FixedOrderPolicy: no available arm in order");
+}
+
+Status FixedOrderPolicy::Update(int arm, double reward) {
+  (void)reward;
+  if (arm < 0 || arm >= num_arms()) {
+    return Status::OutOfRange("FixedOrderPolicy::Update: arm out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<int> OrderByScoreDescending(const std::vector<double>& score) {
+  std::vector<int> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return score[a] > score[b];
+  });
+  return order;
+}
+
+}  // namespace easeml::bandit

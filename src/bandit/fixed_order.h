@@ -1,0 +1,43 @@
+#ifndef EASEML_BANDIT_FIXED_ORDER_H_
+#define EASEML_BANDIT_FIXED_ORDER_H_
+
+#include <vector>
+
+#include "bandit/bandit_policy.h"
+
+namespace easeml::bandit {
+
+/// Plays arms in a fixed preference order, skipping arms already played.
+///
+/// Implements the user heuristics of Section 5.2: MOSTCITED plays models in
+/// descending Google-Scholar citation count, MOSTRECENT in descending
+/// publication year. The order is supplied by the caller (derived from the
+/// model registry metadata).
+class FixedOrderPolicy : public BanditPolicy {
+ public:
+  /// `order` must be a permutation of [0, K). Fails otherwise.
+  static Result<FixedOrderPolicy> Create(std::vector<int> order,
+                                         std::string name);
+
+  int num_arms() const override { return static_cast<int>(order_.size()); }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override { return name_; }
+
+  const std::vector<int>& order() const { return order_; }
+
+ private:
+  FixedOrderPolicy(std::vector<int> order, std::string name)
+      : order_(std::move(order)), name_(std::move(name)) {}
+
+  std::vector<int> order_;
+  std::string name_;
+};
+
+/// Builds a preference order sorting arms by `score` descending; ties break
+/// by lower arm index (deterministic).
+std::vector<int> OrderByScoreDescending(const std::vector<double>& score);
+
+}  // namespace easeml::bandit
+
+#endif  // EASEML_BANDIT_FIXED_ORDER_H_

@@ -1,0 +1,113 @@
+#ifndef EASEML_BANDIT_GP_ACQUISITIONS_H_
+#define EASEML_BANDIT_GP_ACQUISITIONS_H_
+
+#include <memory>
+#include <vector>
+
+#include "bandit/bandit_policy.h"
+#include "common/rng.h"
+#include "gp/gaussian_process.h"
+
+namespace easeml::bandit {
+
+/// Standard normal CDF and PDF (shared by the acquisition policies).
+double NormalCdf(double z);
+double NormalPdf(double z);
+
+/// Options shared by the GP acquisition-function policies.
+struct GpAcquisitionOptions {
+  /// Exploration margin xi added to the incumbent before computing the
+  /// improvement (both EI and PI).
+  double xi = 0.01;
+
+  /// If true, the acquisition value is divided by the arm's cost
+  /// ("expected improvement per unit cost", the standard cost-aware EI of
+  /// Snoek et al.); `costs` must then be set.
+  bool cost_aware = false;
+  std::vector<double> costs;
+};
+
+/// GP-EI: expected improvement over the best observed reward
+///   EI(k) = (mu - y* - xi) Phi(z) + sigma phi(z),  z = (mu - y* - xi)/sigma.
+///
+/// Section 4.5 lists integrating GP-EI into the multi-tenant framework as
+/// future work; this policy implements the single-tenant building block so
+/// it can be compared against GP-UCB under any scheduler (see the
+/// extension_acquisitions bench).
+class GpEiPolicy : public BanditPolicy {
+ public:
+  static Result<GpEiPolicy> Create(gp::DiscreteArmGp belief,
+                                   GpAcquisitionOptions options);
+
+  int num_arms() const override { return belief_.num_arms(); }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override { return "gp-ei"; }
+
+  /// The acquisition value of one arm given the current belief.
+  double Acquisition(int arm) const;
+
+  double best_observed() const { return best_observed_; }
+
+ private:
+  GpEiPolicy(gp::DiscreteArmGp belief, GpAcquisitionOptions options)
+      : belief_(std::move(belief)), options_(std::move(options)) {}
+
+  gp::DiscreteArmGp belief_;
+  GpAcquisitionOptions options_;
+  bool has_observation_ = false;
+  double best_observed_ = 0.0;
+};
+
+/// GP-PI: probability of improvement, PI(k) = Phi((mu - y* - xi)/sigma)
+/// (Kushner 1964, the paper's reference [25]).
+class GpPiPolicy : public BanditPolicy {
+ public:
+  static Result<GpPiPolicy> Create(gp::DiscreteArmGp belief,
+                                   GpAcquisitionOptions options);
+
+  int num_arms() const override { return belief_.num_arms(); }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override { return "gp-pi"; }
+
+  double Acquisition(int arm) const;
+
+ private:
+  GpPiPolicy(gp::DiscreteArmGp belief, GpAcquisitionOptions options)
+      : belief_(std::move(belief)), options_(std::move(options)) {}
+
+  gp::DiscreteArmGp belief_;
+  GpAcquisitionOptions options_;
+  bool has_observation_ = false;
+  double best_observed_ = 0.0;
+};
+
+/// GP Thompson sampling: draw one function sample from the joint posterior
+/// N(mu, Sigma) and play its argmax (restricted to the available arms).
+/// Cost-aware variant divides the sampled value's advantage by the cost.
+class GpThompsonPolicy : public BanditPolicy {
+ public:
+  static Result<GpThompsonPolicy> Create(gp::DiscreteArmGp belief,
+                                         GpAcquisitionOptions options,
+                                         uint64_t seed);
+
+  int num_arms() const override { return belief_.num_arms(); }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override { return "gp-thompson"; }
+
+ private:
+  GpThompsonPolicy(gp::DiscreteArmGp belief, GpAcquisitionOptions options,
+                   uint64_t seed)
+      : belief_(std::move(belief)), options_(std::move(options)),
+        rng_(seed) {}
+
+  gp::DiscreteArmGp belief_;
+  GpAcquisitionOptions options_;
+  Rng rng_;
+};
+
+}  // namespace easeml::bandit
+
+#endif  // EASEML_BANDIT_GP_ACQUISITIONS_H_

@@ -1,0 +1,96 @@
+#include "bandit/gp_ucb.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace easeml::bandit {
+
+namespace {
+constexpr double kPiSquaredOverSix = 1.6449340668482264;
+}  // namespace
+
+GpUcbPolicy::GpUcbPolicy(gp::DiscreteArmGp belief, GpUcbOptions options)
+    : belief_(std::move(belief)), options_(std::move(options)) {
+  if (!options_.costs.empty()) {
+    max_cost_ = options_.costs[0];
+    for (double c : options_.costs) max_cost_ = std::max(max_cost_, c);
+  }
+}
+
+Result<GpUcbPolicy> GpUcbPolicy::Create(gp::DiscreteArmGp belief,
+                                        GpUcbOptions options) {
+  if (options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("GpUcb: delta must be in (0, 1)");
+  }
+  if (options.cost_aware) {
+    if (static_cast<int>(options.costs.size()) != belief.num_arms()) {
+      return Status::InvalidArgument(
+          "GpUcb: cost-aware mode needs one cost per arm");
+    }
+    for (double c : options.costs) {
+      if (c <= 0.0) {
+        return Status::InvalidArgument("GpUcb: costs must be positive");
+      }
+    }
+  }
+  return GpUcbPolicy(std::move(belief), std::move(options));
+}
+
+Result<std::unique_ptr<GpUcbPolicy>> GpUcbPolicy::CreateUnique(
+    gp::DiscreteArmGp belief, GpUcbOptions options) {
+  EASEML_ASSIGN_OR_RETURN(GpUcbPolicy policy,
+                          Create(std::move(belief), std::move(options)));
+  return std::make_unique<GpUcbPolicy>(std::move(policy));
+}
+
+double GpUcbPolicy::Beta(int t) const {
+  EASEML_DCHECK(t >= 1);
+  const double k = static_cast<double>(num_arms());
+  const double tt = static_cast<double>(t);
+  if (options_.theoretical_beta) {
+    // Theorem 1: beta_t = 2 c* log(pi^2 K t^2 / (6 delta)).
+    return 2.0 * max_cost_ *
+           std::log(kPiSquaredOverSix * k * tt * tt / options_.delta);
+  }
+  // Algorithm 1 line 3: beta_t = log(K t^2 / delta). At t = 1 with large
+  // delta this can be <= 0; clamp at 0 so sqrt is defined (pure
+  // exploitation).
+  return std::max(0.0, std::log(k * tt * tt / options_.delta));
+}
+
+double GpUcbPolicy::ArmCost(int arm) const {
+  if (options_.costs.empty()) return 1.0;
+  return options_.costs[arm];
+}
+
+double GpUcbPolicy::Ucb(int arm, int t) const {
+  double beta = Beta(t);
+  if (options_.cost_aware) beta /= ArmCost(arm);
+  return belief_.Mean(arm) + std::sqrt(beta) * belief_.StdDev(arm);
+}
+
+Result<int> GpUcbPolicy::SelectArm(const std::vector<int>& available, int t) {
+  EASEML_RETURN_NOT_OK(ValidateAvailable(available));
+  if (t < 1) return Status::InvalidArgument("SelectArm: t must be >= 1");
+  int best = available[0];
+  double best_ucb = Ucb(best, t);
+  for (size_t i = 1; i < available.size(); ++i) {
+    const double u = Ucb(available[i], t);
+    if (u > best_ucb) {
+      best_ucb = u;
+      best = available[i];
+    }
+  }
+  return best;
+}
+
+Status GpUcbPolicy::Update(int arm, double reward) {
+  return belief_.Observe(arm, reward);
+}
+
+std::string GpUcbPolicy::name() const {
+  return options_.cost_aware ? "gp-ucb-cost-aware" : "gp-ucb";
+}
+
+}  // namespace easeml::bandit

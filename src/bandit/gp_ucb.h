@@ -1,0 +1,77 @@
+#ifndef EASEML_BANDIT_GP_UCB_H_
+#define EASEML_BANDIT_GP_UCB_H_
+
+#include <memory>
+#include <vector>
+
+#include "bandit/bandit_policy.h"
+#include "gp/gaussian_process.h"
+
+namespace easeml::bandit {
+
+/// Configuration of the (cost-aware) GP-UCB policy.
+struct GpUcbOptions {
+  /// Confidence parameter delta in (0, 1); enters beta_t = log(K t^2 / delta).
+  double delta = 0.1;
+
+  /// If true, the selection index is mu + sqrt(beta_t / c_k) * sigma
+  /// (the paper's Section 3.2 twist); `costs` must then be set.
+  bool cost_aware = false;
+
+  /// Per-arm execution costs c_k > 0. Required when `cost_aware`.
+  std::vector<double> costs;
+
+  /// If true, uses the theoretical schedule of Theorem 1,
+  /// beta_t = 2 c* log(pi^2 K t^2 / (6 delta)), instead of the practical
+  /// Algorithm-1 schedule beta_t = log(K t^2 / delta).
+  bool theoretical_beta = false;
+};
+
+/// GP-UCB arm selection (Algorithm 1) with the optional cost-aware twist.
+///
+/// Keeps a `gp::DiscreteArmGp` belief; at round t picks
+///   argmax_k mu_{t-1}(k) + sqrt(beta_t [/ c_k]) sigma_{t-1}(k)
+/// over the available arms. Exposes the ingredients (mean, stddev, beta,
+/// UCB) that the multi-tenant GREEDY scheduler needs for its user-picking
+/// phase.
+class GpUcbPolicy : public BanditPolicy {
+ public:
+  /// Validates options against the GP dimension.
+  static Result<GpUcbPolicy> Create(gp::DiscreteArmGp belief,
+                                    GpUcbOptions options);
+
+  /// Convenience: heap-allocated variant for polymorphic containers.
+  static Result<std::unique_ptr<GpUcbPolicy>> CreateUnique(
+      gp::DiscreteArmGp belief, GpUcbOptions options);
+
+  int num_arms() const override { return belief_.num_arms(); }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override;
+
+  /// beta_t per the configured schedule. Precondition: t >= 1.
+  double Beta(int t) const;
+
+  /// Upper confidence bound B_t(k) = mu(k) + sqrt(beta_t [/ c_k]) sigma(k).
+  double Ucb(int arm, int t) const;
+
+  /// Posterior marginals.
+  double Mean(int arm) const { return belief_.Mean(arm); }
+  double StdDev(int arm) const { return belief_.StdDev(arm); }
+
+  double ArmCost(int arm) const;
+
+  const gp::DiscreteArmGp& belief() const { return belief_; }
+  const GpUcbOptions& options() const { return options_; }
+
+ private:
+  GpUcbPolicy(gp::DiscreteArmGp belief, GpUcbOptions options);
+
+  gp::DiscreteArmGp belief_;
+  GpUcbOptions options_;
+  double max_cost_ = 1.0;  // c* for the theoretical beta schedule
+};
+
+}  // namespace easeml::bandit
+
+#endif  // EASEML_BANDIT_GP_UCB_H_

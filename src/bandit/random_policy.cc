@@ -1,0 +1,27 @@
+#include "bandit/random_policy.h"
+
+#include "common/logging.h"
+
+namespace easeml::bandit {
+
+RandomPolicy::RandomPolicy(int num_arms, uint64_t seed)
+    : num_arms_(num_arms), rng_(seed) {
+  EASEML_CHECK(num_arms >= 1);
+}
+
+Result<int> RandomPolicy::SelectArm(const std::vector<int>& available,
+                                    int t) {
+  (void)t;
+  EASEML_RETURN_NOT_OK(ValidateAvailable(available));
+  return available[rng_.UniformInt(0,
+                                   static_cast<int>(available.size()) - 1)];
+}
+
+Status RandomPolicy::Update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms_) {
+    return Status::OutOfRange("RandomPolicy::Update: arm out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace easeml::bandit

@@ -1,0 +1,27 @@
+#ifndef EASEML_BANDIT_RANDOM_POLICY_H_
+#define EASEML_BANDIT_RANDOM_POLICY_H_
+
+#include "bandit/bandit_policy.h"
+#include "common/rng.h"
+
+namespace easeml::bandit {
+
+/// Uniform-random arm selection; the weakest sensible baseline.
+class RandomPolicy : public BanditPolicy {
+ public:
+  /// Precondition: num_arms >= 1.
+  RandomPolicy(int num_arms, uint64_t seed);
+
+  int num_arms() const override { return num_arms_; }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  int num_arms_;
+  Rng rng_;
+};
+
+}  // namespace easeml::bandit
+
+#endif  // EASEML_BANDIT_RANDOM_POLICY_H_

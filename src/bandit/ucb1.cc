@@ -1,0 +1,48 @@
+#include "bandit/ucb1.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace easeml::bandit {
+
+Ucb1Policy::Ucb1Policy(int num_arms)
+    : counts_(num_arms, 0), sums_(num_arms, 0.0) {
+  EASEML_CHECK(num_arms >= 1);
+}
+
+double Ucb1Policy::EmpiricalMean(int arm) const {
+  if (counts_[arm] == 0) return 0.0;
+  return sums_[arm] / counts_[arm];
+}
+
+Result<int> Ucb1Policy::SelectArm(const std::vector<int>& available, int t) {
+  EASEML_RETURN_NOT_OK(ValidateAvailable(available));
+  // Unplayed arms first.
+  for (int a : available) {
+    if (counts_[a] == 0) return a;
+  }
+  const double log_t = std::log(std::max(2, t));
+  int best = available[0];
+  double best_index = -1e300;
+  for (int a : available) {
+    const double index =
+        EmpiricalMean(a) + std::sqrt(2.0 * log_t / counts_[a]);
+    if (index > best_index) {
+      best_index = index;
+      best = a;
+    }
+  }
+  return best;
+}
+
+Status Ucb1Policy::Update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms()) {
+    return Status::OutOfRange("Ucb1::Update: arm out of range");
+  }
+  ++counts_[arm];
+  sums_[arm] += reward;
+  return Status::OK();
+}
+
+}  // namespace easeml::bandit

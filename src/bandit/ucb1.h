@@ -1,0 +1,35 @@
+#ifndef EASEML_BANDIT_UCB1_H_
+#define EASEML_BANDIT_UCB1_H_
+
+#include <vector>
+
+#include "bandit/bandit_policy.h"
+
+namespace easeml::bandit {
+
+/// Classic UCB1 (Auer et al.): index = mean_k + sqrt(2 ln t / n_k).
+///
+/// The dependence-oblivious baseline discussed in Section 3.1 ("the UCB
+/// algorithm must play all arms once or twice in the initial step"): unplayed
+/// arms are always preferred, so the first K rounds sweep all arms.
+class Ucb1Policy : public BanditPolicy {
+ public:
+  /// Precondition: num_arms >= 1.
+  explicit Ucb1Policy(int num_arms);
+
+  int num_arms() const override { return static_cast<int>(counts_.size()); }
+  Result<int> SelectArm(const std::vector<int>& available, int t) override;
+  Status Update(int arm, double reward) override;
+  std::string name() const override { return "ucb1"; }
+
+  int Count(int arm) const { return counts_[arm]; }
+  double EmpiricalMean(int arm) const;
+
+ private:
+  std::vector<int> counts_;
+  std::vector<double> sums_;
+};
+
+}  // namespace easeml::bandit
+
+#endif  // EASEML_BANDIT_UCB1_H_

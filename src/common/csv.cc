@@ -1,0 +1,44 @@
+#include "common/csv.h"
+
+namespace easeml {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> columns)
+    : os_(os), num_columns_(columns.size()) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) os_ << ",";
+    os_ << Escape(columns[i]);
+  }
+  os_ << "\n";
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (cells.size() != num_columns_) {
+    return Status::InvalidArgument("CSV row width mismatch");
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ",";
+    os_ << Escape(cells[i]);
+  }
+  os_ << "\n";
+  return Status::OK();
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quotes = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace easeml

@@ -1,0 +1,34 @@
+#ifndef EASEML_COMMON_CSV_H_
+#define EASEML_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace easeml {
+
+/// Streams rows in RFC-4180-ish CSV to an `std::ostream`.
+///
+/// The benchmark binaries emit their figure series as CSV so downstream
+/// plotting scripts can regenerate the paper's plots directly.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> columns);
+
+  /// Writes one row; must match the column count.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// Quotes a cell if it contains a comma, quote, or newline.
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+  size_t num_columns_;
+};
+
+}  // namespace easeml
+
+#endif  // EASEML_COMMON_CSV_H_

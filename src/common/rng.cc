@@ -1,0 +1,62 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace easeml {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  EASEML_DCHECK(lo <= hi) << "UniformInt: lo=" << lo << " hi=" << hi;
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::MultivariateNormal(
+    const std::vector<double>& mean, const std::vector<double>& chol_lower,
+    int n) {
+  EASEML_DCHECK(static_cast<int>(mean.size()) == n);
+  EASEML_DCHECK(static_cast<int>(chol_lower.size()) == n * n);
+  std::vector<double> z(n);
+  for (int i = 0; i < n; ++i) z[i] = Normal();
+  std::vector<double> out(n);
+  for (int i = 0; i < n; ++i) {
+    double acc = mean[i];
+    for (int j = 0; j <= i; ++j) acc += chol_lower[i * n + j] * z[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  EASEML_DCHECK(k >= 0 && k <= n);
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher–Yates: the first k entries are the sample.
+  for (int i = 0; i < k; ++i) {
+    int j = UniformInt(i, n - 1);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+uint64_t Rng::NextSeed() {
+  std::uniform_int_distribution<uint64_t> dist;
+  return dist(engine_);
+}
+
+}  // namespace easeml

@@ -1,0 +1,54 @@
+#ifndef EASEML_COMMON_STATISTICS_H_
+#define EASEML_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace easeml {
+
+/// Arithmetic mean of `values`. Returns 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (divisor n-1). Returns 0 for n < 2.
+double Variance(const std::vector<double>& values);
+
+/// Square root of `Variance`.
+double StdDev(const std::vector<double>& values);
+
+/// Minimum / maximum. Precondition: non-empty.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, `p` in [0, 100]. Precondition: non-empty.
+double Percentile(std::vector<double> values, double p);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; used by the metrics layer to
+/// aggregate loss curves across experiment repetitions without storing
+/// every sample.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  /// Extremes over the stream; 0 when empty.
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace easeml
+
+#endif  // EASEML_COMMON_STATISTICS_H_

@@ -1,0 +1,148 @@
+#ifndef EASEML_COMMON_STATUS_H_
+#define EASEML_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace easeml {
+
+/// Error category attached to a `Status`.
+///
+/// Library code never throws: every fallible operation reports failure through
+/// `Status` (or `Result<T>` when a value is produced). This mirrors the
+/// convention used by Apache Arrow and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Success-or-error outcome of an operation.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// message. The class is cheaply copyable and movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error union. Holds either a `T` or an error `Status`.
+///
+/// Accessing `value()` on an error result aborts the process (programming
+/// error); call `ok()` first or use `value_or()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Aborts if `status.ok()`,
+  /// because an OK result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; `Status::OK()` when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Precondition: `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// The held value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates an error status out of the current function.
+#define EASEML_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::easeml::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or propagates
+/// its error status.
+#define EASEML_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto EASEML_CONCAT_(res_, __LINE__) = (expr);   \
+  if (!EASEML_CONCAT_(res_, __LINE__).ok())       \
+    return EASEML_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(EASEML_CONCAT_(res_, __LINE__)).value()
+
+#define EASEML_CONCAT_IMPL_(a, b) a##b
+#define EASEML_CONCAT_(a, b) EASEML_CONCAT_IMPL_(a, b)
+
+}  // namespace easeml
+
+#endif  // EASEML_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef EASEML_COMMON_TABLE_H_
+#define EASEML_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace easeml {
+
+/// Fixed-column ASCII table used by the benchmark harness to print the rows
+/// the paper's figures/tables report.
+///
+/// Usage:
+///   Table t({"dataset", "#users", "#models"});
+///   t.AddRow({"DEEPLEARNING", "22", "8"});
+///   t.Print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string FormatDouble(double v, int precision = 4);
+
+  /// Renders the table with aligned columns and a header separator.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace easeml
+
+#endif  // EASEML_COMMON_TABLE_H_

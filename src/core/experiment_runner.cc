@@ -1,0 +1,271 @@
+#include "core/experiment_runner.h"
+
+#include <cmath>
+#include <memory>
+
+#include "bandit/fixed_order.h"
+#include "bandit/gp_ucb.h"
+#include "common/rng.h"
+#include "data/model_features.h"
+#include "data/splits.h"
+#include "scheduler/fcfs.h"
+#include "scheduler/greedy.h"
+#include "scheduler/hybrid.h"
+#include "scheduler/random_scheduler.h"
+#include "scheduler/round_robin.h"
+#include "sim/simulator.h"
+
+namespace easeml::core {
+
+std::string StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kEaseMl:
+      return "ease.ml";
+    case StrategyKind::kGreedy:
+      return "greedy";
+    case StrategyKind::kRoundRobin:
+      return "round-robin";
+    case StrategyKind::kRandom:
+      return "random";
+    case StrategyKind::kFcfs:
+      return "fcfs";
+    case StrategyKind::kMostCited:
+      return "most-cited";
+    case StrategyKind::kMostRecent:
+      return "most-recent";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// SplitMix64-style mixing so per-repetition streams are independent.
+uint64_t ChildSeed(uint64_t master, uint64_t rep) {
+  uint64_t z = master + 0x9e3779b97f4a7c15ULL * (rep + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool UsesGpUcb(StrategyKind kind) {
+  return kind != StrategyKind::kMostCited &&
+         kind != StrategyKind::kMostRecent;
+}
+
+Status ValidateProtocol(const data::Dataset& ds, StrategyKind strategy,
+                        const ProtocolOptions& o) {
+  EASEML_RETURN_NOT_OK(ds.Validate());
+  if (o.num_test_users <= 0 || o.num_test_users >= ds.num_users()) {
+    return Status::InvalidArgument(
+        "RunProtocol: need 0 < num_test_users < num_users");
+  }
+  if (o.num_reps <= 0) {
+    return Status::InvalidArgument("RunProtocol: num_reps must be > 0");
+  }
+  if (o.kernel_train_fraction <= 0.0 || o.kernel_train_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "RunProtocol: kernel_train_fraction not in (0, 1]");
+  }
+  if (strategy == StrategyKind::kMostCited &&
+      ds.citations.size() != static_cast<size_t>(ds.num_models())) {
+    return Status::FailedPrecondition(
+        "RunProtocol: MOSTCITED needs citation metadata");
+  }
+  if (strategy == StrategyKind::kMostRecent &&
+      ds.publication_year.size() != static_cast<size_t>(ds.num_models())) {
+    return Status::FailedPrecondition(
+        "RunProtocol: MOSTRECENT needs publication-year metadata");
+  }
+  return Status::OK();
+}
+
+/// Scales feature vectors by 1/sqrt(dim) so Euclidean distances — and hence
+/// the length-scale grid — are comparable across training-set sizes.
+void NormalizeFeatureDimension(std::vector<std::vector<double>>& features) {
+  if (features.empty() || features[0].empty()) return;
+  const double s = 1.0 / std::sqrt(static_cast<double>(features[0].size()));
+  for (auto& f : features) {
+    for (double& v : f) v *= s;
+  }
+}
+
+std::unique_ptr<scheduler::SchedulerPolicy> MakeScheduler(
+    StrategyKind kind, const ProtocolOptions& o, uint64_t seed) {
+  switch (kind) {
+    case StrategyKind::kEaseMl:
+      return std::make_unique<scheduler::HybridScheduler>(
+          o.hybrid_patience, o.greedy_rule, seed);
+    case StrategyKind::kGreedy:
+      return std::make_unique<scheduler::GreedyScheduler>(o.greedy_rule,
+                                                          seed);
+    case StrategyKind::kRandom:
+      return std::make_unique<scheduler::RandomScheduler>(seed);
+    case StrategyKind::kFcfs:
+      return std::make_unique<scheduler::FcfsScheduler>();
+    case StrategyKind::kRoundRobin:
+    case StrategyKind::kMostCited:
+    case StrategyKind::kMostRecent:
+      return std::make_unique<scheduler::RoundRobinScheduler>();
+  }
+  return nullptr;
+}
+
+/// Hyperparameters used when tuning is disabled or as the tuning fallback.
+gp::TunedHyperparameters DefaultHyperparameters(gp::KernelFamily family) {
+  gp::TunedHyperparameters hp;
+  hp.family = family;
+  hp.length_scale = 0.2;
+  hp.signal_variance = 0.05;
+  hp.noise_variance = 1e-3;
+  return hp;
+}
+
+}  // namespace
+
+Result<StrategyResult> RunProtocol(const data::Dataset& dataset,
+                                   StrategyKind strategy,
+                                   const ProtocolOptions& options) {
+  EASEML_RETURN_NOT_OK(ValidateProtocol(dataset, strategy, options));
+
+  // --- Hyperparameter fitting (once, on repetition 0's split) -------------
+  gp::TunedHyperparameters hp =
+      DefaultHyperparameters(options.kernel_family);
+  if (options.tune_hyperparameters && UsesGpUcb(strategy)) {
+    Rng rng(ChildSeed(options.seed, 0));
+    EASEML_ASSIGN_OR_RETURN(
+        data::TrainTestSplit split,
+        data::SplitUsers(dataset.num_users(), options.num_test_users, rng));
+    EASEML_ASSIGN_OR_RETURN(
+        std::vector<int> kernel_users,
+        data::SubsampleIndices(split.train_users,
+                               options.kernel_train_fraction, rng));
+    EASEML_ASSIGN_OR_RETURN(auto features,
+                            data::ComputeModelFeatures(dataset, kernel_users));
+    NormalizeFeatureDimension(features);
+    EASEML_ASSIGN_OR_RETURN(auto realizations,
+                            data::ComputeRealizations(dataset, kernel_users));
+    auto tuned = gp::TuneByMarginalLikelihood(options.kernel_family, features,
+                                              realizations);
+    if (tuned.ok()) hp = *tuned;
+  }
+
+  // --- Repetitions ---------------------------------------------------------
+  std::vector<sim::LossCurve> curves;
+  curves.reserve(options.num_reps);
+  double total_cumulative_regret = 0.0;
+  double total_easeml_regret = 0.0;
+  for (int rep = 0; rep < options.num_reps; ++rep) {
+    Rng rng(ChildSeed(options.seed, rep));
+    EASEML_ASSIGN_OR_RETURN(
+        data::TrainTestSplit split,
+        data::SplitUsers(dataset.num_users(), options.num_test_users, rng));
+    EASEML_ASSIGN_OR_RETURN(
+        std::vector<int> kernel_users,
+        data::SubsampleIndices(split.train_users,
+                               options.kernel_train_fraction, rng));
+
+    // GP prior from the training logs.
+    linalg::Matrix gram;
+    std::vector<double> prior_mean;
+    if (UsesGpUcb(strategy)) {
+      EASEML_ASSIGN_OR_RETURN(
+          auto features, data::ComputeModelFeatures(dataset, kernel_users));
+      NormalizeFeatureDimension(features);
+      // mu_0 = global_mean * 1: a constant prior (reward centering). All
+      // per-model knowledge lives in the kernel, as in the paper.
+      EASEML_ASSIGN_OR_RETURN(
+          double global_mean,
+          data::ComputeGlobalMeanQuality(dataset, kernel_users));
+      prior_mean.assign(dataset.num_models(), global_mean);
+      std::unique_ptr<gp::Kernel> kernel = hp.MakeKernel();
+      EASEML_ASSIGN_OR_RETURN(gram, kernel->BuildGram(features));
+      gram.AddToDiagonal(1e-8);  // numerical jitter
+    }
+
+    EASEML_ASSIGN_OR_RETURN(data::Dataset test_ds,
+                            dataset.SelectUsers(split.test_users));
+    EASEML_ASSIGN_OR_RETURN(
+        sim::Environment env,
+        sim::Environment::Create(std::move(test_ds),
+                                 options.observation_noise, rng.NextSeed()));
+
+    std::vector<scheduler::UserState> users;
+    users.reserve(options.num_test_users);
+    for (int i = 0; i < options.num_test_users; ++i) {
+      std::vector<double> costs = env.CostsForUser(i);
+      std::unique_ptr<bandit::BanditPolicy> policy;
+      if (UsesGpUcb(strategy)) {
+        EASEML_ASSIGN_OR_RETURN(
+            gp::DiscreteArmGp belief,
+            gp::DiscreteArmGp::Create(gram, hp.noise_variance, prior_mean));
+        bandit::GpUcbOptions ucb;
+        ucb.delta = options.delta;
+        ucb.theoretical_beta = options.theoretical_beta;
+        ucb.cost_aware = options.cost_aware_policy;
+        if (ucb.cost_aware) ucb.costs = costs;
+        EASEML_ASSIGN_OR_RETURN(
+            auto gp_policy,
+            bandit::GpUcbPolicy::CreateUnique(std::move(belief), ucb));
+        policy = std::move(gp_policy);
+      } else {
+        std::vector<double> score(dataset.num_models());
+        for (int j = 0; j < dataset.num_models(); ++j) {
+          score[j] = strategy == StrategyKind::kMostCited
+                         ? static_cast<double>(dataset.citations[j])
+                         : static_cast<double>(dataset.publication_year[j]);
+        }
+        EASEML_ASSIGN_OR_RETURN(
+            bandit::FixedOrderPolicy fixed,
+            bandit::FixedOrderPolicy::Create(
+                bandit::OrderByScoreDescending(score),
+                StrategyName(strategy)));
+        policy = std::make_unique<bandit::FixedOrderPolicy>(std::move(fixed));
+      }
+      EASEML_ASSIGN_OR_RETURN(
+          scheduler::UserState state,
+          scheduler::UserState::Create(i, std::move(policy),
+                                       std::move(costs)));
+      users.push_back(std::move(state));
+    }
+
+    std::unique_ptr<scheduler::SchedulerPolicy> sched =
+        MakeScheduler(strategy, options, rng.NextSeed());
+    sim::SimulationOptions sim_opts;
+    sim_opts.cost_aware_budget = options.cost_aware_budget;
+    sim_opts.budget_fraction = options.budget_fraction;
+    sim_opts.grid_points = options.grid_points;
+    // FCFS is the pathological baseline precisely because it never rotates;
+    // forcing a sweep would hide its failure mode.
+    sim_opts.initial_sweep = strategy != StrategyKind::kFcfs;
+
+    EASEML_ASSIGN_OR_RETURN(sim::SimulationResult sim_result,
+                            sim::RunSimulation(env, users, *sched, sim_opts));
+    total_cumulative_regret += sim_result.cumulative_regret;
+    total_easeml_regret += sim_result.easeml_regret;
+    curves.push_back(std::move(sim_result.curve));
+  }
+
+  StrategyResult out;
+  out.kind = strategy;
+  out.strategy_name = StrategyName(strategy);
+  EASEML_ASSIGN_OR_RETURN(out.curves, sim::Aggregate(curves));
+  out.mean_auc = sim::AreaUnderCurve(out.curves.grid, out.curves.mean);
+  out.mean_cumulative_regret = total_cumulative_regret / options.num_reps;
+  out.mean_easeml_regret = total_easeml_regret / options.num_reps;
+  return out;
+}
+
+Result<std::vector<StrategyResult>> RunStrategies(
+    const data::Dataset& dataset, const std::vector<StrategyKind>& strategies,
+    const ProtocolOptions& options) {
+  std::vector<StrategyResult> results;
+  results.reserve(strategies.size());
+  for (StrategyKind kind : strategies) {
+    EASEML_ASSIGN_OR_RETURN(StrategyResult r,
+                            RunProtocol(dataset, kind, options));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace easeml::core

@@ -1,0 +1,174 @@
+#include "core/multi_tenant_selector.h"
+
+#include "scheduler/fcfs.h"
+#include "scheduler/greedy.h"
+#include "scheduler/hybrid.h"
+#include "scheduler/random_scheduler.h"
+#include "scheduler/round_robin.h"
+
+namespace easeml::core {
+
+std::string SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kHybrid:
+      return "hybrid";
+    case SchedulerKind::kGreedy:
+      return "greedy";
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kFcfs:
+      return "fcfs";
+  }
+  return "unknown";
+}
+
+namespace {
+std::unique_ptr<scheduler::SchedulerPolicy> MakeScheduler(
+    const SelectorOptions& options) {
+  switch (options.scheduler) {
+    case SchedulerKind::kHybrid:
+      return std::make_unique<scheduler::HybridScheduler>(
+          options.hybrid_patience);
+    case SchedulerKind::kGreedy:
+      return std::make_unique<scheduler::GreedyScheduler>();
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<scheduler::RoundRobinScheduler>();
+    case SchedulerKind::kRandom:
+      return std::make_unique<scheduler::RandomScheduler>(options.seed);
+    case SchedulerKind::kFcfs:
+      return std::make_unique<scheduler::FcfsScheduler>();
+  }
+  return nullptr;
+}
+}  // namespace
+
+Result<MultiTenantSelector> MultiTenantSelector::Create(
+    const SelectorOptions& options) {
+  if (options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("Selector: delta must be in (0, 1)");
+  }
+  if (options.hybrid_patience <= 0) {
+    return Status::InvalidArgument("Selector: hybrid_patience must be > 0");
+  }
+  auto sched = MakeScheduler(options);
+  if (sched == nullptr) {
+    return Status::InvalidArgument("Selector: unknown scheduler kind");
+  }
+  return MultiTenantSelector(options, std::move(sched));
+}
+
+Result<int> MultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
+                                           std::vector<double> costs) {
+  bandit::GpUcbOptions ucb;
+  ucb.delta = options_.delta;
+  ucb.cost_aware = options_.cost_aware;
+  if (options_.cost_aware) ucb.costs = costs;
+  EASEML_ASSIGN_OR_RETURN(
+      std::unique_ptr<bandit::GpUcbPolicy> policy,
+      bandit::GpUcbPolicy::CreateUnique(std::move(belief), std::move(ucb)));
+  const int id = num_tenants();
+  EASEML_ASSIGN_OR_RETURN(
+      scheduler::UserState state,
+      scheduler::UserState::Create(id, std::move(policy), std::move(costs)));
+  users_.push_back(std::move(state));
+  best_model_.push_back(-1);
+  return id;
+}
+
+Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
+    int num_models, std::vector<double> costs, double noise_variance) {
+  if (num_models <= 0) {
+    return Status::InvalidArgument("AddTenant: num_models must be > 0");
+  }
+  EASEML_ASSIGN_OR_RETURN(
+      gp::DiscreteArmGp belief,
+      gp::DiscreteArmGp::Create(linalg::Matrix::Identity(num_models),
+                                noise_variance));
+  return AddTenant(std::move(belief), std::move(costs));
+}
+
+bool MultiTenantSelector::Exhausted() const {
+  if (users_.empty()) return true;
+  for (const auto& u : users_) {
+    if (!u.Exhausted()) return false;
+  }
+  return true;
+}
+
+Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
+  if (has_pending_) {
+    return Status::FailedPrecondition(
+        "Next: previous assignment not reported");
+  }
+  if (users_.empty()) {
+    return Status::FailedPrecondition("Next: no tenants registered");
+  }
+  int tenant = -1;
+  // Initialization sweep (Algorithm 2 lines 1-4): any tenant without an
+  // observation is served first, in registration order.
+  for (const auto& u : users_) {
+    if (!u.has_observations() && !u.Exhausted()) {
+      tenant = u.user_id();
+      break;
+    }
+  }
+  if (tenant < 0) {
+    EASEML_ASSIGN_OR_RETURN(tenant, scheduler_->PickUser(users_, round_ + 1));
+  }
+  EASEML_ASSIGN_OR_RETURN(int model, users_[tenant].SelectArm());
+  pending_ = Assignment{tenant, model};
+  has_pending_ = true;
+  return pending_;
+}
+
+Status MultiTenantSelector::Report(const Assignment& assignment,
+                                   double accuracy) {
+  if (!has_pending_) {
+    return Status::FailedPrecondition("Report: no outstanding assignment");
+  }
+  if (assignment.tenant != pending_.tenant ||
+      assignment.model != pending_.model) {
+    return Status::InvalidArgument(
+        "Report: assignment does not match the outstanding one");
+  }
+  const double before = users_[assignment.tenant].best_reward();
+  EASEML_RETURN_NOT_OK(
+      users_[assignment.tenant].RecordOutcome(assignment.model, accuracy));
+  if (accuracy > before || best_model_[assignment.tenant] < 0) {
+    best_model_[assignment.tenant] = assignment.model;
+  }
+  scheduler_->OnOutcome(users_, assignment.tenant);
+  has_pending_ = false;
+  ++round_;
+  return Status::OK();
+}
+
+Status MultiTenantSelector::ValidateTenant(int tenant) const {
+  if (tenant < 0 || tenant >= num_tenants()) {
+    return Status::OutOfRange("tenant id out of range");
+  }
+  return Status::OK();
+}
+
+Result<int> MultiTenantSelector::BestModel(int tenant) const {
+  EASEML_RETURN_NOT_OK(ValidateTenant(tenant));
+  if (best_model_[tenant] < 0) {
+    return Status::NotFound("no model trained yet for tenant " +
+                            std::to_string(tenant));
+  }
+  return best_model_[tenant];
+}
+
+Result<double> MultiTenantSelector::BestAccuracy(int tenant) const {
+  EASEML_RETURN_NOT_OK(ValidateTenant(tenant));
+  return users_[tenant].best_reward();
+}
+
+Result<int> MultiTenantSelector::RoundsServed(int tenant) const {
+  EASEML_RETURN_NOT_OK(ValidateTenant(tenant));
+  return users_[tenant].rounds_served();
+}
+
+}  // namespace easeml::core

@@ -1,0 +1,126 @@
+#ifndef EASEML_CORE_MULTI_TENANT_SELECTOR_H_
+#define EASEML_CORE_MULTI_TENANT_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gp/gaussian_process.h"
+#include "scheduler/scheduler_policy.h"
+
+namespace easeml::core {
+
+/// User-picking strategy of the selector.
+enum class SchedulerKind {
+  kHybrid,      // ease.ml default (Section 4.4)
+  kGreedy,      // Algorithm 2
+  kRoundRobin,  // Section 4.2
+  kRandom,
+  kFcfs,
+};
+
+std::string SchedulerKindName(SchedulerKind kind);
+
+/// Options of the multi-tenant selector.
+struct SelectorOptions {
+  SchedulerKind scheduler = SchedulerKind::kHybrid;
+
+  /// GP-UCB confidence parameter (Algorithm 1 line 3).
+  double delta = 0.1;
+
+  /// Use the cost-aware index sqrt(beta_t / c_k) (Section 3.2).
+  bool cost_aware = true;
+
+  /// HYBRID freeze patience s (Section 4.4; the paper uses 10).
+  int hybrid_patience = 10;
+
+  /// Seed for the RANDOM scheduler.
+  uint64_t seed = 0;
+};
+
+/// The core public API of this library: ease.ml's multi-tenant, cost-aware
+/// model-selection engine (Section 4) behind a pull interface.
+///
+/// The caller owns the actual training substrate. Usage:
+///
+///   auto selector = MultiTenantSelector::Create(options).value();
+///   int alice = selector.AddTenant(belief_a, costs_a).value();
+///   int bob   = selector.AddTenant(belief_b, costs_b).value();
+///   while (!selector.Exhausted()) {
+///     auto a = selector.Next().value();        // which (tenant, model) to train
+///     double acc = TrainAndEvaluate(a.tenant, a.model);
+///     selector.Report(a, acc);                 // feed the result back
+///   }
+///
+/// The selector serves one training job at a time (the paper's single-device
+/// resource model: "the current execution strategy of ease.ml is to use all
+/// its GPUs to train a single model"). Tenants added after the loop started
+/// are picked up by the initialization sweep on their first rounds.
+class MultiTenantSelector {
+ public:
+  /// A unit of work: train model `model` for tenant `tenant`.
+  struct Assignment {
+    int tenant = -1;
+    int model = -1;
+  };
+
+  static Result<MultiTenantSelector> Create(const SelectorOptions& options);
+
+  /// Registers a tenant whose candidate models carry the given GP prior
+  /// belief and per-model costs (one positive cost per arm). Returns the
+  /// tenant id.
+  Result<int> AddTenant(gp::DiscreteArmGp belief, std::vector<double> costs);
+
+  /// Registers a tenant with an uninformative independent prior
+  /// (unit-variance diagonal) — used when no training logs exist yet.
+  Result<int> AddTenantWithDefaultPrior(int num_models,
+                                        std::vector<double> costs,
+                                        double noise_variance = 1e-2);
+
+  int num_tenants() const { return static_cast<int>(users_.size()); }
+
+  /// True when every tenant has trained every candidate model.
+  bool Exhausted() const;
+
+  /// Picks the next (tenant, model) to train. Only one assignment may be
+  /// outstanding: fails with FailedPrecondition if the previous assignment
+  /// has not been reported yet, or if all tenants are exhausted.
+  Result<Assignment> Next();
+
+  /// Reports the measured accuracy of a completed assignment.
+  Status Report(const Assignment& assignment, double accuracy);
+
+  /// Best model trained so far for `tenant` (what `infer` serves);
+  /// NotFound before the first completed run.
+  Result<int> BestModel(int tenant) const;
+
+  /// Best observed accuracy for `tenant`; 0 before the first run.
+  Result<double> BestAccuracy(int tenant) const;
+
+  /// Rounds served so far for `tenant`.
+  Result<int> RoundsServed(int tenant) const;
+
+  const scheduler::SchedulerPolicy& scheduler_policy() const {
+    return *scheduler_;
+  }
+
+ private:
+  explicit MultiTenantSelector(const SelectorOptions& options,
+                               std::unique_ptr<scheduler::SchedulerPolicy> s)
+      : options_(options), scheduler_(std::move(s)) {}
+
+  Status ValidateTenant(int tenant) const;
+
+  SelectorOptions options_;
+  std::unique_ptr<scheduler::SchedulerPolicy> scheduler_;
+  std::vector<scheduler::UserState> users_;
+  std::vector<int> best_model_;  // -1 until first report
+  Assignment pending_;
+  bool has_pending_ = false;
+  int round_ = 0;
+};
+
+}  // namespace easeml::core
+
+#endif  // EASEML_CORE_MULTI_TENANT_SELECTOR_H_

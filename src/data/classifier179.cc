@@ -1,0 +1,77 @@
+#include "data/classifier179.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace easeml::data {
+
+const std::vector<ClassifierFamily>& Classifier179Families() {
+  // Counts sum to 179. Offsets follow the ranking reported by Delgado et
+  // al.: random forests and Gaussian SVMs lead; naive Bayes and PLSR trail.
+  static const auto* kFamilies = new std::vector<ClassifierFamily>{
+      {"rf", 8, 0.060, 0.015},      {"svm", 10, 0.050, 0.020},
+      {"nnet", 21, 0.020, 0.025},   {"boosting", 20, 0.030, 0.020},
+      {"bagging", 24, 0.020, 0.020}, {"trees", 14, -0.020, 0.020},
+      {"rules", 12, -0.030, 0.020}, {"knn", 5, 0.000, 0.015},
+      {"discriminant", 20, -0.010, 0.020}, {"bayes", 6, -0.060, 0.015},
+      {"glm", 5, -0.020, 0.010},    {"plsr", 6, -0.040, 0.015},
+      {"logistic", 3, -0.010, 0.010}, {"stacking", 2, 0.010, 0.010},
+      {"mars", 4, -0.020, 0.010},   {"gpc", 4, 0.000, 0.010},
+      {"elm", 15, 0.000, 0.025},
+  };
+  return *kFamilies;
+}
+
+Result<Dataset> GenerateClassifier179(const Classifier179Options& options) {
+  if (options.num_users <= 0) {
+    return Status::InvalidArgument("GenerateClassifier179: num_users <= 0");
+  }
+  const auto& families = Classifier179Families();
+  int k = 0;
+  for (const auto& f : families) k += f.count;
+  EASEML_CHECK(k == 179) << "family counts must sum to 179, got " << k;
+
+  Rng rng(options.seed);
+  const int n = options.num_users;
+
+  Dataset ds;
+  ds.name = "179CLASSIFIER";
+  ds.quality = linalg::Matrix(n, k);
+  ds.cost = linalg::Matrix(n, k);
+
+  // Per-model fixed structure: family index and deterministic jitter.
+  std::vector<int> family_of(k);
+  std::vector<double> model_jitter(k);
+  {
+    int j = 0;
+    for (size_t f = 0; f < families.size(); ++f) {
+      for (int m = 0; m < families[f].count; ++m, ++j) {
+        ds.model_names.push_back(families[f].name + "_" + std::to_string(m));
+        family_of[j] = static_cast<int>(f);
+        model_jitter[j] = rng.Normal(0.0, families[f].member_spread);
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    ds.user_names.push_back("uci_" + std::to_string(i));
+    const double baseline = std::clamp(
+        rng.Normal(options.baseline_mean, options.baseline_stddev), 0.2,
+        0.98);
+    const double family_scale =
+        std::max(0.0, rng.Normal(1.0, options.family_scale_stddev));
+    for (int j = 0; j < k; ++j) {
+      const auto& fam = families[family_of[j]];
+      double q = baseline + family_scale * (fam.mean_offset + model_jitter[j]);
+      q += rng.Normal(0.0, options.interaction_noise);
+      ds.quality(i, j) = std::clamp(q, 0.0, 1.0);
+    }
+  }
+  AssignUniformCosts(ds, rng);  // synthetic costs, as in the paper
+  EASEML_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace easeml::data

@@ -1,0 +1,48 @@
+#ifndef EASEML_DATA_CLASSIFIER179_H_
+#define EASEML_DATA_CLASSIFIER179_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace easeml::data {
+
+/// A family of classifiers in the Delgado et al. benchmark (e.g. "rf",
+/// "svm"): `count` members sharing a mean quality offset, with a per-model
+/// deterministic jitter.
+struct ClassifierFamily {
+  std::string name;
+  int count;
+  double mean_offset;
+  double member_spread;
+};
+
+/// The 17-family, 179-model layout mirroring Delgado et al. (2014).
+const std::vector<ClassifierFamily>& Classifier179Families();
+
+/// Parameters of the 179CLASSIFIER surrogate.
+///
+/// SUBSTITUTION (see DESIGN.md): the paper uses real accuracies from Delgado
+/// et al. ("Do we need hundreds of classifiers...?") over 121 UCI data sets.
+/// We generate a surrogate with the same shape — 121 users x 179 models,
+/// strong within-family correlation (random forests consistently near the
+/// top, naive Bayes near the bottom), wide per-user difficulty spread — and
+/// synthetic U(0,1) costs exactly as the paper does.
+struct Classifier179Options {
+  int num_users = 121;
+  double baseline_mean = 0.65;
+  double baseline_stddev = 0.18;
+  double family_scale_stddev = 0.40;  // per-user spread of family ranking
+  double interaction_noise = 0.05;
+  uint64_t seed = 17;
+};
+
+/// Generates the 179CLASSIFIER surrogate.
+Result<Dataset> GenerateClassifier179(const Classifier179Options& options);
+
+}  // namespace easeml::data
+
+#endif  // EASEML_DATA_CLASSIFIER179_H_

@@ -1,0 +1,114 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace easeml::data {
+
+double Dataset::BestQuality(int user) const {
+  EASEML_CHECK(user >= 0 && user < num_users());
+  double best = 0.0;
+  for (int j = 0; j < num_models(); ++j) {
+    best = std::max(best, quality(user, j));
+  }
+  return best;
+}
+
+int Dataset::BestModel(int user) const {
+  EASEML_CHECK(user >= 0 && user < num_users());
+  int best = 0;
+  for (int j = 1; j < num_models(); ++j) {
+    if (quality(user, j) > quality(user, best)) best = j;
+  }
+  return best;
+}
+
+double Dataset::TotalCost() const {
+  double acc = 0.0;
+  for (int i = 0; i < num_users(); ++i) {
+    for (int j = 0; j < num_models(); ++j) acc += cost(i, j);
+  }
+  return acc;
+}
+
+Status Dataset::Validate() const {
+  const int n = quality.rows();
+  const int k = quality.cols();
+  if (n == 0 || k == 0) {
+    return Status::InvalidArgument(name + ": empty quality matrix");
+  }
+  if (cost.rows() != n || cost.cols() != k) {
+    return Status::InvalidArgument(name + ": cost/quality shape mismatch");
+  }
+  if (static_cast<int>(user_names.size()) != n) {
+    return Status::InvalidArgument(name + ": user_names size mismatch");
+  }
+  if (static_cast<int>(model_names.size()) != k) {
+    return Status::InvalidArgument(name + ": model_names size mismatch");
+  }
+  if (!citations.empty() && static_cast<int>(citations.size()) != k) {
+    return Status::InvalidArgument(name + ": citations size mismatch");
+  }
+  if (!publication_year.empty() &&
+      static_cast<int>(publication_year.size()) != k) {
+    return Status::InvalidArgument(name + ": publication_year size mismatch");
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      const double q = quality(i, j);
+      if (q < 0.0 || q > 1.0) {
+        return Status::OutOfRange(name + ": quality out of [0,1] at (" +
+                                  std::to_string(i) + "," +
+                                  std::to_string(j) + ")");
+      }
+      if (cost(i, j) <= 0.0) {
+        return Status::OutOfRange(name + ": non-positive cost at (" +
+                                  std::to_string(i) + "," +
+                                  std::to_string(j) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::SelectUsers(
+    const std::vector<int>& user_indices) const {
+  if (user_indices.empty()) {
+    return Status::InvalidArgument("SelectUsers: empty index list");
+  }
+  for (int u : user_indices) {
+    if (u < 0 || u >= num_users()) {
+      return Status::OutOfRange("SelectUsers: user index out of range");
+    }
+  }
+  Dataset out;
+  out.name = name;
+  out.model_names = model_names;
+  out.citations = citations;
+  out.publication_year = publication_year;
+  const int n = static_cast<int>(user_indices.size());
+  const int k = num_models();
+  out.quality = linalg::Matrix(n, k);
+  out.cost = linalg::Matrix(n, k);
+  out.user_names.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    const int u = user_indices[r];
+    out.user_names.push_back(user_names[u]);
+    for (int j = 0; j < k; ++j) {
+      out.quality(r, j) = quality(u, j);
+      out.cost(r, j) = cost(u, j);
+    }
+  }
+  return out;
+}
+
+void AssignUniformCosts(Dataset& ds, Rng& rng, double lo, double hi) {
+  for (int i = 0; i < ds.num_users(); ++i) {
+    for (int j = 0; j < ds.num_models(); ++j) {
+      ds.cost(i, j) = rng.Uniform(lo, hi);
+    }
+  }
+}
+
+}  // namespace easeml::data

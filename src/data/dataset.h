@@ -1,0 +1,60 @@
+#ifndef EASEML_DATA_DATASET_H_
+#define EASEML_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace easeml::data {
+
+/// A multi-tenant model-selection benchmark dataset (paper, Figure 8).
+///
+/// Rows are users (tenants), columns are candidate models. `quality(i, j)` is
+/// the accuracy model j achieves on user i's task, in [0, 1]; `cost(i, j)` is
+/// the execution time of training model j for user i, strictly positive.
+/// Model metadata (citation counts, publication year) feeds the MOSTCITED and
+/// MOSTRECENT heuristics of Section 5.2.
+struct Dataset {
+  std::string name;
+  std::vector<std::string> user_names;
+  std::vector<std::string> model_names;
+  linalg::Matrix quality;  // num_users x num_models
+  linalg::Matrix cost;     // num_users x num_models
+
+  /// Per-model metadata; empty when not applicable.
+  std::vector<int> citations;
+  std::vector<int> publication_year;
+
+  int num_users() const { return quality.rows(); }
+  int num_models() const { return quality.cols(); }
+
+  /// Best achievable accuracy for user i: max_j quality(i, j).
+  double BestQuality(int user) const;
+
+  /// Index of the best model for user i (lowest index on ties).
+  int BestModel(int user) const;
+
+  /// Sum of all training costs (the denominator of "% of total cost").
+  double TotalCost() const;
+
+  /// Structural validation: consistent dimensions, qualities in [0, 1],
+  /// strictly positive costs.
+  Status Validate() const;
+
+  /// Returns a new dataset restricted to `user_indices` (in the given
+  /// order). Fails on out-of-range indices.
+  Result<Dataset> SelectUsers(const std::vector<int>& user_indices) const;
+};
+
+/// Fills `ds.cost` with i.i.d. uniform costs in [lo, hi); the synthetic-cost
+/// recipe used for 179CLASSIFIER and the SYN datasets (Section 5.1). A small
+/// positive floor keeps the cost-aware index sqrt(beta/c) finite.
+void AssignUniformCosts(Dataset& ds, Rng& rng, double lo = 0.01,
+                        double hi = 1.0);
+
+}  // namespace easeml::data
+
+#endif  // EASEML_DATA_DATASET_H_

@@ -1,0 +1,76 @@
+#include "data/deeplearning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace easeml::data {
+
+const std::vector<ArchitectureInfo>& DeepLearningArchitectures() {
+  // Offsets/costs reflect the well-known accuracy-vs-FLOPs ordering of these
+  // architectures circa 2017; citations are approximate Google-Scholar
+  // counts at the paper's submission time. Function-local static to comply
+  // with the static-initialization rules (no global with dynamic init).
+  static const auto* kArchitectures = new std::vector<ArchitectureInfo>{
+      {"NIN", -0.040, 1.0, 1300, 2013, 0.30},
+      {"GoogLeNet", 0.020, 2.5, 5600, 2014, 0.60},
+      {"ResNet-50", 0.050, 5.0, 8200, 2015, 0.90},
+      {"AlexNet", -0.060, 0.8, 16000, 2012, 0.20},
+      {"BN-AlexNet", -0.030, 1.0, 4100, 2015, 0.25},
+      {"ResNet-18", 0.030, 2.0, 8200, 2015, 0.55},
+      {"VGG-16", 0.010, 6.0, 9300, 2014, 0.80},
+      {"SqueezeNet", -0.050, 0.5, 620, 2016, 0.15},
+  };
+  return *kArchitectures;
+}
+
+Result<Dataset> GenerateDeepLearning(const DeepLearningOptions& options) {
+  if (options.num_users <= 0) {
+    return Status::InvalidArgument("GenerateDeepLearning: num_users <= 0");
+  }
+  const auto& archs = DeepLearningArchitectures();
+  const int k = static_cast<int>(archs.size());
+  const int n = options.num_users;
+  Rng rng(options.seed);
+
+  Dataset ds;
+  ds.name = "DEEPLEARNING";
+  ds.quality = linalg::Matrix(n, k);
+  ds.cost = linalg::Matrix(n, k);
+  for (const auto& a : archs) {
+    ds.model_names.push_back(a.name);
+    ds.citations.push_back(a.citations_2017);
+    ds.publication_year.push_back(a.publication_year);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    ds.user_names.push_back("tenant_" + std::to_string(i));
+    const double baseline =
+        std::clamp(rng.Normal(options.baseline_mean, options.baseline_stddev),
+                   0.30, 0.97);
+    // How strongly the canonical architecture ranking holds for this user.
+    const double offset_scale =
+        std::max(0.0, rng.Normal(1.0, options.offset_scale_stddev));
+    // Dataset size (log scale): negative log-size means a small dataset on
+    // which deep architectures overfit.
+    const double log_size = rng.Normal(0.0, options.size_log_stddev);
+    const double small_data_penalty = std::max(0.0, -log_size);
+    for (int j = 0; j < k; ++j) {
+      const auto& a = archs[j];
+      double q = baseline + offset_scale * a.quality_offset;
+      q -= options.overfit_penalty * small_data_penalty * a.depth_factor;
+      q += rng.Normal(0.0, options.quality_noise);
+      ds.quality(i, j) = std::clamp(q, 0.0, 1.0);
+      // Cost scales with dataset size and the architecture's relative cost.
+      const double size_scale = std::exp(log_size);
+      const double jitter =
+          std::exp(rng.Normal(0.0, options.cost_noise_log_stddev));
+      ds.cost(i, j) = std::max(1e-3, a.relative_cost * size_scale * jitter);
+    }
+  }
+  EASEML_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace easeml::data

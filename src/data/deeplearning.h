@@ -1,0 +1,55 @@
+#ifndef EASEML_DATA_DEEPLEARNING_H_
+#define EASEML_DATA_DEEPLEARNING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace easeml::data {
+
+/// Static metadata of the eight image-classification architectures ease.ml
+/// matches to the Tensor[A,B,C] -> Tensor[D] template (Sections 2 and 5.1).
+struct ArchitectureInfo {
+  std::string name;
+  double quality_offset;  // typical accuracy delta vs. the user baseline
+  double relative_cost;   // training time relative to AlexNet == 1
+  int citations_2017;     // approximate Google-Scholar count (MOSTCITED)
+  int publication_year;   // (MOSTRECENT)
+  double depth_factor;    // 0..1, how much the model overfits small data
+};
+
+/// The eight-architecture registry used by the DEEPLEARNING workload.
+const std::vector<ArchitectureInfo>& DeepLearningArchitectures();
+
+/// Parameters of the DEEPLEARNING surrogate.
+///
+/// SUBSTITUTION (see DESIGN.md): the paper's DEEPLEARNING dataset is the real
+/// ease.ml production log of 22 users x 8 models. We do not have that log, so
+/// we generate a calibrated surrogate: each user has a task difficulty
+/// (baseline accuracy) and a dataset-size scale; each architecture
+/// contributes its published quality offset and relative training cost; small
+/// datasets penalize deep architectures (the paper's "simpler networks
+/// already overfit" anecdote). Quality and cost heterogeneity — the
+/// structural properties the scheduling results depend on — are preserved.
+struct DeepLearningOptions {
+  int num_users = 22;
+  double baseline_mean = 0.72;
+  double baseline_stddev = 0.12;
+  double offset_scale_stddev = 0.50;  // per-user spread of the arch ranking
+  double quality_noise = 0.03;        // residual (user, model) noise
+  double size_log_stddev = 0.8;       // lognormal dataset-size spread
+  double cost_noise_log_stddev = 0.25;
+  double overfit_penalty = 0.08;      // depth penalty on small datasets
+  uint64_t seed = 13;
+};
+
+/// Generates the DEEPLEARNING surrogate (22 users x 8 models, "real"
+/// quality and cost in the paper's terms).
+Result<Dataset> GenerateDeepLearning(const DeepLearningOptions& options);
+
+}  // namespace easeml::data
+
+#endif  // EASEML_DATA_DEEPLEARNING_H_

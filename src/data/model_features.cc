@@ -1,0 +1,62 @@
+#include "data/model_features.h"
+
+namespace easeml::data {
+
+namespace {
+Status ValidateTrainUsers(const Dataset& ds,
+                          const std::vector<int>& train_users) {
+  if (train_users.empty()) {
+    return Status::InvalidArgument("model_features: empty training set");
+  }
+  for (int u : train_users) {
+    if (u < 0 || u >= ds.num_users()) {
+      return Status::OutOfRange("model_features: train user out of range");
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<std::vector<std::vector<double>>> ComputeModelFeatures(
+    const Dataset& ds, const std::vector<int>& train_users) {
+  EASEML_RETURN_NOT_OK(ValidateTrainUsers(ds, train_users));
+  std::vector<std::vector<double>> features(ds.num_models());
+  for (int j = 0; j < ds.num_models(); ++j) {
+    features[j].reserve(train_users.size());
+    for (int u : train_users) features[j].push_back(ds.quality(u, j));
+  }
+  return features;
+}
+
+Result<std::vector<std::vector<double>>> ComputeRealizations(
+    const Dataset& ds, const std::vector<int>& train_users) {
+  EASEML_RETURN_NOT_OK(ValidateTrainUsers(ds, train_users));
+  std::vector<std::vector<double>> realizations;
+  realizations.reserve(train_users.size());
+  for (int u : train_users) realizations.push_back(ds.quality.Row(u));
+  return realizations;
+}
+
+Result<std::vector<double>> ComputePriorMean(
+    const Dataset& ds, const std::vector<int>& train_users) {
+  EASEML_RETURN_NOT_OK(ValidateTrainUsers(ds, train_users));
+  std::vector<double> mean(ds.num_models(), 0.0);
+  for (int j = 0; j < ds.num_models(); ++j) {
+    double acc = 0.0;
+    for (int u : train_users) acc += ds.quality(u, j);
+    mean[j] = acc / static_cast<double>(train_users.size());
+  }
+  return mean;
+}
+
+Result<double> ComputeGlobalMeanQuality(const Dataset& ds,
+                                        const std::vector<int>& train_users) {
+  EASEML_RETURN_NOT_OK(ValidateTrainUsers(ds, train_users));
+  double acc = 0.0;
+  for (int u : train_users) {
+    for (int j = 0; j < ds.num_models(); ++j) acc += ds.quality(u, j);
+  }
+  return acc / (static_cast<double>(train_users.size()) * ds.num_models());
+}
+
+}  // namespace easeml::data

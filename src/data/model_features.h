@@ -1,0 +1,40 @@
+#ifndef EASEML_DATA_MODEL_FEATURES_H_
+#define EASEML_DATA_MODEL_FEATURES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace easeml::data {
+
+/// Feature vectors for the GP kernel (paper, Appendix A): model j is
+/// represented by its "quality vector" — its accuracy on each training user.
+/// `features[j]` has one entry per element of `train_users`.
+/// Fails on empty or out-of-range `train_users`.
+Result<std::vector<std::vector<double>>> ComputeModelFeatures(
+    const Dataset& ds, const std::vector<int>& train_users);
+
+/// GP realizations for hyperparameter tuning: one length-K quality vector
+/// per training user (user's accuracy across all models).
+Result<std::vector<std::vector<double>>> ComputeRealizations(
+    const Dataset& ds, const std::vector<int>& train_users);
+
+/// Empirical-Bayes prior mean per model: its average quality over the
+/// training users. Exposed for analysis; note that the paper's algorithm
+/// does NOT use a per-model prior mean — transfer happens through the
+/// kernel only (mu_0 = 0 convention, Appendix A).
+Result<std::vector<double>> ComputePriorMean(
+    const Dataset& ds, const std::vector<int>& train_users);
+
+/// Scalar centering constant: the global mean quality over the training
+/// users and all models. The experiment runner uses mu_0 = c * 1 (a
+/// constant vector), which is equivalent to centering rewards as
+/// scikit-learn's normalize_y does, while keeping all per-model knowledge
+/// in the kernel as the paper prescribes.
+Result<double> ComputeGlobalMeanQuality(const Dataset& ds,
+                                        const std::vector<int>& train_users);
+
+}  // namespace easeml::data
+
+#endif  // EASEML_DATA_MODEL_FEATURES_H_

@@ -1,0 +1,43 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easeml::data {
+
+Result<TrainTestSplit> SplitUsers(int num_users, int num_test, Rng& rng) {
+  if (num_test <= 0 || num_test >= num_users) {
+    return Status::InvalidArgument(
+        "SplitUsers: need 0 < num_test < num_users");
+  }
+  std::vector<int> test = rng.SampleWithoutReplacement(num_users, num_test);
+  std::sort(test.begin(), test.end());
+  std::vector<bool> is_test(num_users, false);
+  for (int u : test) is_test[u] = true;
+  TrainTestSplit split;
+  split.test_users = std::move(test);
+  split.train_users.reserve(num_users - num_test);
+  for (int u = 0; u < num_users; ++u) {
+    if (!is_test[u]) split.train_users.push_back(u);
+  }
+  return split;
+}
+
+Result<std::vector<int>> SubsampleIndices(const std::vector<int>& items,
+                                          double fraction, Rng& rng) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("SubsampleIndices: fraction not in (0,1]");
+  }
+  const int n = static_cast<int>(items.size());
+  const int keep = std::max(
+      1, static_cast<int>(std::ceil(fraction * static_cast<double>(n))));
+  if (keep >= n) return items;
+  std::vector<int> picked = rng.SampleWithoutReplacement(n, keep);
+  std::sort(picked.begin(), picked.end());
+  std::vector<int> out;
+  out.reserve(keep);
+  for (int p : picked) out.push_back(items[p]);
+  return out;
+}
+
+}  // namespace easeml::data

@@ -1,0 +1,32 @@
+#ifndef EASEML_DATA_SPLITS_H_
+#define EASEML_DATA_SPLITS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace easeml::data {
+
+/// A random partition of users into a kernel-training set and a test set
+/// (paper, Section 5.2 / Appendix A: "we randomly sample ten users as a
+/// testing set and the rest of the users as a training set").
+struct TrainTestSplit {
+  std::vector<int> train_users;
+  std::vector<int> test_users;
+};
+
+/// Samples `num_test` distinct test users out of `num_users`; the remainder
+/// becomes the training set. Both halves are sorted ascending for
+/// reproducible downstream iteration. Fails unless 0 < num_test < num_users.
+Result<TrainTestSplit> SplitUsers(int num_users, int num_test, Rng& rng);
+
+/// Selects `ceil(fraction * items.size())` items uniformly without
+/// replacement (used by the Figure-14 training-set-size experiment).
+/// Fails unless fraction is in (0, 1].
+Result<std::vector<int>> SubsampleIndices(const std::vector<int>& items,
+                                          double fraction, Rng& rng);
+
+}  // namespace easeml::data
+
+#endif  // EASEML_DATA_SPLITS_H_

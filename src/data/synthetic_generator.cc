@@ -1,0 +1,157 @@
+#include "data/synthetic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "linalg/cholesky.h"
+
+namespace easeml::data {
+
+namespace {
+
+double Clip01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Cholesky factor of `cov` with enough jitter to handle the nearly-singular
+/// covariances produced by large sigma (strong correlation). Returns a
+/// row-major dense lower factor.
+Result<std::vector<double>> DenseCholLower(const linalg::Matrix& cov) {
+  const int n = cov.rows();
+  double jitter = 1e-10;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto chol = linalg::Cholesky::Compute(cov, jitter);
+    if (chol.ok()) {
+      std::vector<double> lower(static_cast<size_t>(n) * n, 0.0);
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j <= i; ++j) lower[i * n + j] = chol->At(i, j);
+      }
+      return lower;
+    }
+    jitter *= 100.0;
+  }
+  return Status::Internal("DenseCholLower: covariance not factorizable");
+}
+
+}  // namespace
+
+linalg::Matrix HiddenFeatureCovariance(const std::vector<double>& f,
+                                       double sigma) {
+  EASEML_CHECK(sigma > 0.0);
+  const int n = static_cast<int>(f.size());
+  linalg::Matrix cov(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double d = f[i] - f[j];
+      cov(i, j) = std::exp(-d * d / (sigma * sigma));
+    }
+  }
+  return cov;
+}
+
+Result<Dataset> GenerateSimpleSyn(const SimpleSynOptions& options) {
+  if (options.num_users <= 0 || options.num_models <= 0) {
+    return Status::InvalidArgument("GenerateSimpleSyn: non-positive sizes");
+  }
+  if (options.sigma_m <= 0.0) {
+    return Status::InvalidArgument("GenerateSimpleSyn: sigma_m must be > 0");
+  }
+  Rng rng(options.seed);
+  const int n = options.num_users;
+  const int k = options.num_models;
+
+  // Hidden model features and their covariance (shared across users).
+  std::vector<double> f(k);
+  for (int j = 0; j < k; ++j) f[j] = rng.Uniform();
+  const linalg::Matrix cov = HiddenFeatureCovariance(f, options.sigma_m);
+  EASEML_ASSIGN_OR_RETURN(std::vector<double> chol_lower,
+                          DenseCholLower(cov));
+
+  Dataset ds;
+  {
+    std::ostringstream name;
+    name << "SYN(" << options.sigma_m << "," << options.alpha << ")";
+    ds.name = name.str();
+  }
+  ds.quality = linalg::Matrix(n, k);
+  ds.cost = linalg::Matrix(n, k);
+  for (int i = 0; i < n; ++i) ds.user_names.push_back("user_" +
+                                                      std::to_string(i));
+  for (int j = 0; j < k; ++j) ds.model_names.push_back("model_" +
+                                                       std::to_string(j));
+
+  const std::vector<double> zero_mean(k, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double b = rng.Normal(options.mu_b, options.sigma_b);
+    // Per-user correlated model fluctuation (Section 5.1: "we sample for
+    // each user i: [m_1, ..., m_K] ~ N(0, Sigma_M)").
+    const std::vector<double> m =
+        rng.MultivariateNormal(zero_mean, chol_lower, k);
+    for (int j = 0; j < k; ++j) {
+      ds.quality(i, j) = Clip01(b + options.alpha * m[j]);
+    }
+  }
+  AssignUniformCosts(ds, rng);
+  EASEML_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+Result<Dataset> GenerateAppendixB(const AppendixBOptions& options) {
+  if (options.baseline_groups.empty()) {
+    return Status::InvalidArgument("GenerateAppendixB: no baseline groups");
+  }
+  if (options.users_per_combination <= 0 || options.num_models <= 0) {
+    return Status::InvalidArgument("GenerateAppendixB: non-positive sizes");
+  }
+  Rng rng(options.seed);
+  const int k = options.num_models;
+  const int n = static_cast<int>(options.baseline_groups.size()) *
+                options.users_per_combination;
+
+  // Model-group fluctuation: one global draw m over the model covariance.
+  std::vector<double> fm(k);
+  for (int j = 0; j < k; ++j) fm[j] = rng.Uniform();
+  EASEML_ASSIGN_OR_RETURN(
+      std::vector<double> chol_m,
+      DenseCholLower(HiddenFeatureCovariance(fm, options.sigma_m)));
+  const std::vector<double> m =
+      rng.MultivariateNormal(std::vector<double>(k, 0.0), chol_m, k);
+
+  // User-group fluctuation: one global draw u over the user covariance.
+  std::vector<double> fu(n);
+  for (int i = 0; i < n; ++i) fu[i] = rng.Uniform();
+  EASEML_ASSIGN_OR_RETURN(
+      std::vector<double> chol_u,
+      DenseCholLower(HiddenFeatureCovariance(fu, options.sigma_u)));
+  const std::vector<double> u =
+      rng.MultivariateNormal(std::vector<double>(n, 0.0), chol_u, n);
+
+  Dataset ds;
+  ds.name = options.name;
+  ds.quality = linalg::Matrix(n, k);
+  ds.cost = linalg::Matrix(n, k);
+  for (int j = 0; j < k; ++j) ds.model_names.push_back("model_" +
+                                                       std::to_string(j));
+
+  int user = 0;
+  for (size_t g = 0; g < options.baseline_groups.size(); ++g) {
+    const BaselineGroup& group = options.baseline_groups[g];
+    for (int r = 0; r < options.users_per_combination; ++r, ++user) {
+      ds.user_names.push_back("g" + std::to_string(g) + "_user_" +
+                              std::to_string(r));
+      const double b = rng.Normal(group.mu_b, group.sigma_b);
+      for (int j = 0; j < k; ++j) {
+        const double eps = rng.Normal(0.0, options.sigma_w);
+        // Appendix B, Eq. (4): x = b_i + m_j + u_i + eps, clipped.
+        ds.quality(user, j) =
+            Clip01(b + options.model_amplitude * m[j] +
+                   options.user_amplitude * u[user] + eps);
+      }
+    }
+  }
+  AssignUniformCosts(ds, rng);
+  EASEML_RETURN_NOT_OK(ds.Validate());
+  return ds;
+}
+
+}  // namespace easeml::data

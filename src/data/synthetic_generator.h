@@ -1,0 +1,75 @@
+#ifndef EASEML_DATA_SYNTHETIC_GENERATOR_H_
+#define EASEML_DATA_SYNTHETIC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace easeml::data {
+
+/// Parameters of the SYN(sigma_M, alpha) family of Section 5.1.
+///
+/// Quality model: x_{i,j} = b_i + alpha * m_{i,j}, clipped to [0, 1], where
+///   b_i          ~ N(mu_b, sigma_b^2)  (user baseline difficulty)
+///   [m_1..m_K]_i ~ N(0, Sigma_M)       (one correlated draw per user)
+///   Sigma_M[j,j'] = exp(-(f(j)-f(j'))^2 / sigma_M^2),  f(j) ~ U(0, 1).
+/// Costs are i.i.d. uniform (synthetic, as in the paper).
+struct SimpleSynOptions {
+  int num_users = 200;
+  int num_models = 100;
+  double mu_b = 0.5;
+  double sigma_b = 0.15;
+  double sigma_m = 0.01;  // model-correlation strength (paper: 0.01 or 0.5)
+  double alpha = 0.1;     // weight of the model-correlation term
+  uint64_t seed = 7;
+};
+
+/// Generates a SYN(sigma_M, alpha) dataset. The name encodes the two
+/// hyperparameters, matching Figure 8 (e.g. "SYN(0.01,0.1)").
+Result<Dataset> GenerateSimpleSyn(const SimpleSynOptions& options);
+
+/// Full generative model of Appendix B:
+///   x_{i,j} = b_i + m_j + u_i + eps_{i,j}, clipped to [0, 1].
+///
+/// Users belong to a baseline group (mu_b, sigma_b) and a user group with
+/// correlation strength sigma_U; models belong to a model group with
+/// correlation strength sigma_M. Group fluctuations m and u are single
+/// correlated draws over the RBF covariance of hidden features f ~ U(0,1);
+/// eps is i.i.d. N(0, sigma_W^2) white noise.
+struct BaselineGroup {
+  double mu_b;
+  double sigma_b;
+};
+
+struct AppendixBOptions {
+  std::vector<BaselineGroup> baseline_groups = {{0.75, 0.1}, {0.25, 0.1}};
+  double sigma_m = 0.5;   // model-group correlation strength
+  double sigma_u = 0.5;   // user-group correlation strength
+  double sigma_w = 0.02;  // white-noise stddev
+  /// Marginal standard deviations of the m and u fluctuations. The
+  /// appendix samples from unit-variance covariances; amplitudes keep
+  /// x = b + m + u + eps inside [0, 1] without pervasive clipping.
+  double model_amplitude = 0.1;
+  double user_amplitude = 0.05;
+  int users_per_combination = 50;  // pU(*): users per baseline x user group
+  int num_models = 100;            // pM(*)
+  uint64_t seed = 11;
+  std::string name = "APPENDIX-B";
+};
+
+/// Generates a dataset with the Appendix-B instantiation (default options
+/// reproduce the 100-user / 100-model configuration of B.2).
+Result<Dataset> GenerateAppendixB(const AppendixBOptions& options);
+
+/// Builds the RBF covariance over hidden features:
+///   Sigma[i,j] = exp(-(f_i - f_j)^2 / sigma^2).
+/// Exposed for tests. Precondition: sigma > 0.
+linalg::Matrix HiddenFeatureCovariance(const std::vector<double>& f,
+                                       double sigma);
+
+}  // namespace easeml::data
+
+#endif  // EASEML_DATA_SYNTHETIC_GENERATOR_H_

@@ -1,0 +1,90 @@
+#ifndef EASEML_GP_GAUSSIAN_PROCESS_H_
+#define EASEML_GP_GAUSSIAN_PROCESS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace easeml::gp {
+
+/// Posterior mean/variance over all arms, as produced by the batch reference
+/// implementation (Algorithm 1, lines 6-7 of the paper).
+struct PosteriorSummary {
+  std::vector<double> mean;
+  std::vector<double> variance;
+};
+
+/// Gaussian-process belief over the rewards of K discrete arms (models).
+///
+/// Prior: x ~ N(prior_mean, prior_cov); observations y = x_a + eps with
+/// eps ~ N(0, noise_variance). `Observe` conditions the joint belief on one
+/// observation with an exact rank-1 update in O(K^2):
+///
+///   gain   = cov(:, a) / (cov(a, a) + sigma^2)
+///   mean  += gain * (y - mean(a))
+///   cov   -= gain * cov(a, :)
+///
+/// Sequentially applying this update is algebraically identical to the batch
+/// posterior in Algorithm 1 (verified by property tests against
+/// `BatchPosterior`), but supports the per-step access pattern of GP-UCB
+/// without refactorizing the covariance.
+class DiscreteArmGp {
+ public:
+  /// Creates the belief. `prior_cov` must be a symmetric K x K matrix and
+  /// `noise_variance` strictly positive. `prior_mean` defaults to zero.
+  static Result<DiscreteArmGp> Create(linalg::Matrix prior_cov,
+                                      double noise_variance,
+                                      std::vector<double> prior_mean = {});
+
+  int num_arms() const { return static_cast<int>(mean_.size()); }
+  int num_observations() const { return num_observations_; }
+  double noise_variance() const { return noise_variance_; }
+
+  /// Posterior marginals of arm k.
+  double Mean(int k) const { return mean_[k]; }
+  double Variance(int k) const;
+  double StdDev(int k) const;
+
+  /// Full posterior mean / covariance access (used by tests and by the
+  /// hybrid scheduler's diagnostics).
+  const std::vector<double>& mean() const { return mean_; }
+  const linalg::Matrix& covariance() const { return cov_; }
+
+  /// Conditions the belief on one observation `y` of arm `arm`.
+  Status Observe(int arm, double y);
+
+  /// Resets to the prior belief.
+  void Reset();
+
+  /// Batch posterior per Algorithm 1 (lines 6-7):
+  ///   mu_t(k)    = S_t(k)^T (S_t + s^2 I)^{-1} y_{1:t}
+  ///   sigma_t(k) = S(k,k) - S_t(k)^T (S_t + s^2 I)^{-1} S_t(k)
+  /// Reference implementation used to cross-check the incremental updates.
+  static Result<PosteriorSummary> BatchPosterior(
+      const linalg::Matrix& prior_cov, double noise_variance,
+      const std::vector<int>& arms, const std::vector<double>& ys);
+
+  /// Log marginal likelihood of observations (arms, ys) under the prior:
+  ///   -1/2 y^T (S_t + s^2 I)^{-1} y - 1/2 log|S_t + s^2 I| - t/2 log(2 pi).
+  static Result<double> LogMarginalLikelihood(const linalg::Matrix& prior_cov,
+                                              double noise_variance,
+                                              const std::vector<int>& arms,
+                                              const std::vector<double>& ys);
+
+ private:
+  DiscreteArmGp(linalg::Matrix prior_cov, double noise_variance,
+                std::vector<double> prior_mean);
+
+  linalg::Matrix prior_cov_;
+  std::vector<double> prior_mean_;
+  double noise_variance_;
+
+  linalg::Matrix cov_;        // current posterior covariance
+  std::vector<double> mean_;  // current posterior mean
+  int num_observations_ = 0;
+};
+
+}  // namespace easeml::gp
+
+#endif  // EASEML_GP_GAUSSIAN_PROCESS_H_

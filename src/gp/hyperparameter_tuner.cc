@@ -1,0 +1,113 @@
+#include "gp/hyperparameter_tuner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/statistics.h"
+#include "gp/gaussian_process.h"
+
+namespace easeml::gp {
+
+std::unique_ptr<Kernel> TunedHyperparameters::MakeKernel() const {
+  switch (family) {
+    case KernelFamily::kRbf:
+      return std::make_unique<RbfKernel>(length_scale, signal_variance);
+    case KernelFamily::kMatern52:
+      return std::make_unique<Matern52Kernel>(length_scale, signal_variance);
+    case KernelFamily::kLinear:
+      return std::make_unique<LinearKernel>(signal_variance);
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Summed LML of all centered realizations under the given Gram matrix.
+Result<double> TotalLml(const linalg::Matrix& gram, double noise_variance,
+                        const std::vector<std::vector<double>>& centered) {
+  const int k = gram.rows();
+  std::vector<int> all_arms(k);
+  for (int i = 0; i < k; ++i) all_arms[i] = i;
+  double total = 0.0;
+  for (const auto& y : centered) {
+    EASEML_ASSIGN_OR_RETURN(
+        double lml, DiscreteArmGp::LogMarginalLikelihood(gram, noise_variance,
+                                                         all_arms, y));
+    total += lml;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<TunedHyperparameters> TuneByMarginalLikelihood(
+    KernelFamily family, const std::vector<std::vector<double>>& features,
+    const std::vector<std::vector<double>>& realizations,
+    const TunerGrid& grid) {
+  if (features.empty()) {
+    return Status::InvalidArgument("TuneByMarginalLikelihood: no features");
+  }
+  if (realizations.empty()) {
+    return Status::InvalidArgument(
+        "TuneByMarginalLikelihood: no realizations");
+  }
+  const size_t k = features.size();
+  for (const auto& r : realizations) {
+    if (r.size() != k) {
+      return Status::InvalidArgument(
+          "TuneByMarginalLikelihood: realization length != #models");
+    }
+  }
+  // Center each realization: the GP prior mean is zero.
+  std::vector<std::vector<double>> centered = realizations;
+  for (auto& y : centered) {
+    const double mu = Mean(y);
+    for (double& v : y) v -= mu;
+  }
+
+  TunedHyperparameters best;
+  best.family = family;
+  best.log_marginal_likelihood = -std::numeric_limits<double>::infinity();
+
+  const std::vector<double> unit_scale = {1.0};
+  const std::vector<double>& scales =
+      family == KernelFamily::kLinear ? unit_scale : grid.length_scales;
+
+  for (double ls : scales) {
+    for (double s2 : grid.signal_variances) {
+      std::unique_ptr<Kernel> kernel;
+      switch (family) {
+        case KernelFamily::kRbf:
+          kernel = std::make_unique<RbfKernel>(ls, s2);
+          break;
+        case KernelFamily::kMatern52:
+          kernel = std::make_unique<Matern52Kernel>(ls, s2);
+          break;
+        case KernelFamily::kLinear:
+          kernel = std::make_unique<LinearKernel>(s2);
+          break;
+      }
+      EASEML_ASSIGN_OR_RETURN(linalg::Matrix gram,
+                              kernel->BuildGram(features));
+      for (double nv : grid.noise_variances) {
+        auto lml = TotalLml(gram, nv, centered);
+        // Numerically degenerate grids (e.g. singular Gram) are skipped
+        // rather than failing the whole search.
+        if (!lml.ok()) continue;
+        if (*lml > best.log_marginal_likelihood) {
+          best.length_scale = ls;
+          best.signal_variance = s2;
+          best.noise_variance = nv;
+          best.log_marginal_likelihood = *lml;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best.log_marginal_likelihood)) {
+    return Status::Internal(
+        "TuneByMarginalLikelihood: no feasible grid point");
+  }
+  return best;
+}
+
+}  // namespace easeml::gp

@@ -1,0 +1,50 @@
+#ifndef EASEML_GP_HYPERPARAMETER_TUNER_H_
+#define EASEML_GP_HYPERPARAMETER_TUNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "gp/kernel.h"
+
+namespace easeml::gp {
+
+/// Search grid for kernel hyperparameters. The paper tunes "by maximizing the
+/// log-marginal-likelihood as in scikit-learn"; we use a deterministic grid
+/// search, which is robust for the small (K <= ~200) arm counts ease.ml sees.
+struct TunerGrid {
+  std::vector<double> length_scales = {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0};
+  std::vector<double> signal_variances = {0.01, 0.05, 0.1, 0.5, 1.0};
+  std::vector<double> noise_variances = {1e-4, 1e-3, 1e-2, 5e-2};
+};
+
+/// Kernel family to tune.
+enum class KernelFamily { kRbf, kMatern52, kLinear };
+
+/// Selected hyperparameters and achieved objective.
+struct TunedHyperparameters {
+  KernelFamily family = KernelFamily::kRbf;
+  double length_scale = 1.0;      // ignored for linear
+  double signal_variance = 1.0;
+  double noise_variance = 1e-3;
+  double log_marginal_likelihood = 0.0;
+
+  /// Instantiates the tuned kernel.
+  std::unique_ptr<Kernel> MakeKernel() const;
+};
+
+/// Fits kernel hyperparameters by maximizing the summed log marginal
+/// likelihood of the training realizations.
+///
+/// `features[k]` is the feature vector of model k (its quality vector over
+/// training users). `realizations[u]` is a length-K vector: the qualities of
+/// all models on training user u, treated as one centered draw of the GP over
+/// models. Fails if inputs are empty or inconsistently sized.
+Result<TunedHyperparameters> TuneByMarginalLikelihood(
+    KernelFamily family, const std::vector<std::vector<double>>& features,
+    const std::vector<std::vector<double>>& realizations,
+    const TunerGrid& grid = TunerGrid());
+
+}  // namespace easeml::gp
+
+#endif  // EASEML_GP_HYPERPARAMETER_TUNER_H_

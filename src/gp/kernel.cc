@@ -1,0 +1,90 @@
+#include "gp/kernel.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "linalg/vector_ops.h"
+
+namespace easeml::gp {
+
+Result<linalg::Matrix> Kernel::BuildGram(
+    const std::vector<std::vector<double>>& features) const {
+  if (features.empty()) {
+    return Status::InvalidArgument("BuildGram: no feature vectors");
+  }
+  const size_t dim = features[0].size();
+  for (const auto& f : features) {
+    if (f.size() != dim) {
+      return Status::InvalidArgument(
+          "BuildGram: inconsistent feature dimensions");
+    }
+  }
+  const int n = static_cast<int>(features.size());
+  linalg::Matrix gram(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = Evaluate(features[i], features[j]);
+      gram(i, j) = v;
+      gram(j, i) = v;
+    }
+  }
+  return gram;
+}
+
+LinearKernel::LinearKernel(double signal_variance, double bias)
+    : signal_variance_(signal_variance), bias_(bias) {
+  EASEML_CHECK(signal_variance > 0.0);
+  EASEML_CHECK(bias >= 0.0);
+}
+
+double LinearKernel::Evaluate(const std::vector<double>& a,
+                              const std::vector<double>& b) const {
+  return signal_variance_ * linalg::Dot(a, b) + bias_;
+}
+
+std::string LinearKernel::ToString() const {
+  std::ostringstream os;
+  os << "linear(s2=" << signal_variance_ << ", bias=" << bias_ << ")";
+  return os.str();
+}
+
+RbfKernel::RbfKernel(double length_scale, double signal_variance)
+    : length_scale_(length_scale), signal_variance_(signal_variance) {
+  EASEML_CHECK(length_scale > 0.0);
+  EASEML_CHECK(signal_variance > 0.0);
+}
+
+double RbfKernel::Evaluate(const std::vector<double>& a,
+                           const std::vector<double>& b) const {
+  const double d2 = linalg::SquaredDistance(a, b);
+  return signal_variance_ *
+         std::exp(-d2 / (2.0 * length_scale_ * length_scale_));
+}
+
+std::string RbfKernel::ToString() const {
+  std::ostringstream os;
+  os << "rbf(l=" << length_scale_ << ", s2=" << signal_variance_ << ")";
+  return os.str();
+}
+
+Matern52Kernel::Matern52Kernel(double length_scale, double signal_variance)
+    : length_scale_(length_scale), signal_variance_(signal_variance) {
+  EASEML_CHECK(length_scale > 0.0);
+  EASEML_CHECK(signal_variance > 0.0);
+}
+
+double Matern52Kernel::Evaluate(const std::vector<double>& a,
+                                const std::vector<double>& b) const {
+  const double r = std::sqrt(linalg::SquaredDistance(a, b));
+  const double z = std::sqrt(5.0) * r / length_scale_;
+  return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+}
+
+std::string Matern52Kernel::ToString() const {
+  std::ostringstream os;
+  os << "matern52(l=" << length_scale_ << ", s2=" << signal_variance_ << ")";
+  return os.str();
+}
+
+}  // namespace easeml::gp

@@ -1,0 +1,98 @@
+#ifndef EASEML_GP_KERNEL_H_
+#define EASEML_GP_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace easeml::gp {
+
+/// Positive-definite covariance function over model feature vectors.
+///
+/// ease.ml represents each candidate model by its "quality vector" — its
+/// observed accuracy on the training users (paper, Appendix A). A kernel maps
+/// two such vectors to a prior covariance between the corresponding arms.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// k(a, b). Precondition: equal feature dimension.
+  virtual double Evaluate(const std::vector<double>& a,
+                          const std::vector<double>& b) const = 0;
+
+  /// Human-readable kernel description (e.g. "rbf(l=0.5, s2=1)").
+  virtual std::string ToString() const = 0;
+
+  /// Builds the Gram matrix K with K[i][j] = Evaluate(f[i], f[j]).
+  /// Fails if features are empty or have inconsistent dimensions.
+  Result<linalg::Matrix> BuildGram(
+      const std::vector<std::vector<double>>& features) const;
+};
+
+/// Linear kernel k(a,b) = signal_variance * (a . b) + bias.
+/// The paper's Theorem 5 reference discusses the linear-kernel information
+/// gain bound; this is also the cheapest useful kernel.
+class LinearKernel : public Kernel {
+ public:
+  explicit LinearKernel(double signal_variance = 1.0, double bias = 0.0);
+
+  double Evaluate(const std::vector<double>& a,
+                  const std::vector<double>& b) const override;
+  std::string ToString() const override;
+
+  double signal_variance() const { return signal_variance_; }
+  double bias() const { return bias_; }
+
+ private:
+  double signal_variance_;
+  double bias_;
+};
+
+/// Squared-exponential (RBF) kernel
+///   k(a,b) = signal_variance * exp(-||a-b||^2 / (2 * length_scale^2)).
+/// This is the kernel scikit-learn's GaussianProcessRegressor defaults to and
+/// the one the paper tunes by maximizing log marginal likelihood.
+class RbfKernel : public Kernel {
+ public:
+  /// Precondition: length_scale > 0, signal_variance > 0.
+  RbfKernel(double length_scale, double signal_variance = 1.0);
+
+  double Evaluate(const std::vector<double>& a,
+                  const std::vector<double>& b) const override;
+  std::string ToString() const override;
+
+  double length_scale() const { return length_scale_; }
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  double length_scale_;
+  double signal_variance_;
+};
+
+/// Matérn 5/2 kernel
+///   k(a,b) = s2 * (1 + sqrt(5) r / l + 5 r^2 / (3 l^2)) exp(-sqrt(5) r / l)
+/// with r = ||a-b||. The second kernel family the paper's regret analysis
+/// covers (Section 4.3 cites the Matérn bound of Srinivas et al.).
+class Matern52Kernel : public Kernel {
+ public:
+  /// Precondition: length_scale > 0, signal_variance > 0.
+  Matern52Kernel(double length_scale, double signal_variance = 1.0);
+
+  double Evaluate(const std::vector<double>& a,
+                  const std::vector<double>& b) const override;
+  std::string ToString() const override;
+
+  double length_scale() const { return length_scale_; }
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  double length_scale_;
+  double signal_variance_;
+};
+
+}  // namespace easeml::gp
+
+#endif  // EASEML_GP_KERNEL_H_

@@ -1,0 +1,91 @@
+#ifndef EASEML_LINALG_MATRIX_H_
+#define EASEML_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace easeml::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for the model-selection workload: covariance matrices over at most a
+/// few hundred arms. Operations are straightforward O(n^3) kernels; no
+/// blocking or SIMD beyond what the compiler auto-vectorizes, which is ample
+/// at this scale.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(int rows, int cols);
+
+  /// Matrix filled with `fill`.
+  Matrix(int rows, int cols, double fill);
+
+  /// Builds from row-major data. Precondition: data.size() == rows*cols.
+  static Result<Matrix> FromRowMajor(int rows, int cols,
+                                     std::vector<double> data);
+
+  /// Identity matrix of dimension n.
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(int r, int c) { return data_[r * cols_ + c]; }
+  double operator()(int r, int c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Returns the r-th row as a vector.
+  std::vector<double> Row(int r) const;
+
+  /// Returns the c-th column as a vector.
+  std::vector<double> Col(int c) const;
+
+  /// this + other. Precondition: same shape.
+  Matrix Add(const Matrix& other) const;
+
+  /// this - other. Precondition: same shape.
+  Matrix Sub(const Matrix& other) const;
+
+  /// Scalar multiple.
+  Matrix Scale(double s) const;
+
+  /// Matrix product this * other. Precondition: cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Matrix-vector product. Precondition: v.size() == cols().
+  std::vector<double> MatVec(const std::vector<double>& v) const;
+
+  /// Transpose.
+  Matrix Transpose() const;
+
+  /// Adds `v` to every diagonal entry (in place). Precondition: square.
+  void AddToDiagonal(double v);
+
+  /// Maximum absolute entry difference against `other`; infinity when shapes
+  /// differ. Used by tests.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// True if the matrix equals its transpose within `tol`.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  /// Human-readable rendering for diagnostics.
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace easeml::linalg
+
+#endif  // EASEML_LINALG_MATRIX_H_

@@ -1,0 +1,196 @@
+#include "platform/dsl_parser.h"
+
+#include <cctype>
+
+namespace easeml::platform {
+
+namespace {
+
+/// Minimal recursive-descent parser over the DSL text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Program> ParseProgramAll() {
+    Program prog;
+    EASEML_RETURN_NOT_OK(Expect('{'));
+    EASEML_RETURN_NOT_OK(ExpectWord("input"));
+    EASEML_RETURN_NOT_OK(Expect(':'));
+    EASEML_ASSIGN_OR_RETURN(prog.input, ParseDataTypeInner());
+    EASEML_RETURN_NOT_OK(Expect(','));
+    EASEML_RETURN_NOT_OK(ExpectWord("output"));
+    EASEML_RETURN_NOT_OK(Expect(':'));
+    EASEML_ASSIGN_OR_RETURN(prog.output, ParseDataTypeInner());
+    EASEML_RETURN_NOT_OK(Expect('}'));
+    EASEML_RETURN_NOT_OK(ExpectEnd());
+    EASEML_RETURN_NOT_OK(prog.Validate());
+    return prog;
+  }
+
+  Result<DataType> ParseDataTypeAll() {
+    EASEML_ASSIGN_OR_RETURN(DataType dt, ParseDataTypeInner());
+    EASEML_RETURN_NOT_OK(ExpectEnd());
+    return dt;
+  }
+
+ private:
+  Result<DataType> ParseDataTypeInner() {
+    DataType dt;
+    EASEML_RETURN_NOT_OK(Expect('{'));
+    EASEML_RETURN_NOT_OK(Expect('['));
+    if (!Peek(']')) {
+      while (true) {
+        EASEML_ASSIGN_OR_RETURN(NonRecField f, ParseNonRecField());
+        dt.nonrec_fields.push_back(std::move(f));
+        if (!TryConsume(',')) break;
+      }
+    }
+    EASEML_RETURN_NOT_OK(Expect(']'));
+    EASEML_RETURN_NOT_OK(Expect(','));
+    EASEML_RETURN_NOT_OK(Expect('['));
+    if (!Peek(']')) {
+      while (true) {
+        EASEML_ASSIGN_OR_RETURN(std::string name, ParseFieldName());
+        dt.rec_fields.push_back(std::move(name));
+        if (!TryConsume(',')) break;
+      }
+    }
+    EASEML_RETURN_NOT_OK(Expect(']'));
+    EASEML_RETURN_NOT_OK(Expect('}'));
+    return dt;
+  }
+
+  Result<NonRecField> ParseNonRecField() {
+    NonRecField field;
+    SkipSpace();
+    // Lookahead: "Tensor[" is an anonymous tensor; otherwise a field name
+    // followed by '::'.
+    if (!WordAhead("Tensor")) {
+      EASEML_ASSIGN_OR_RETURN(field.name, ParseFieldName());
+      EASEML_RETURN_NOT_OK(Expect(':'));
+      EASEML_RETURN_NOT_OK(Expect(':'));
+    }
+    EASEML_ASSIGN_OR_RETURN(field.shape, ParseTensor());
+    return field;
+  }
+
+  Result<TensorShape> ParseTensor() {
+    EASEML_RETURN_NOT_OK(ExpectWord("Tensor"));
+    EASEML_RETURN_NOT_OK(Expect('['));
+    TensorShape shape;
+    while (true) {
+      EASEML_ASSIGN_OR_RETURN(int d, ParseInt());
+      shape.dims.push_back(d);
+      if (!TryConsume(',')) break;
+    }
+    EASEML_RETURN_NOT_OK(Expect(']'));
+    return shape;
+  }
+
+  Result<std::string> ParseFieldName() {
+    SkipSpace();
+    std::string name;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+        name += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument(Where("expected field name"));
+    }
+    return name;
+  }
+
+  Result<int> ParseInt() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::InvalidArgument(Where("expected integer"));
+    }
+    long long v = 0;
+    for (size_t i = start; i < pos_; ++i) {
+      v = v * 10 + (text_[i] - '0');
+      if (v > 1'000'000'000LL) {
+        return Status::InvalidArgument(Where("integer too large"));
+      }
+    }
+    return static_cast<int>(v);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool TryConsume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (TryConsume(c)) return Status::OK();
+    return Status::InvalidArgument(
+        Where(std::string("expected '") + c + "'"));
+  }
+
+  bool WordAhead(const std::string& word) {
+    SkipSpace();
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    const size_t after = pos_ + word.size();
+    // Must not run into a longer identifier.
+    if (after < text_.size()) {
+      const char c = text_[after];
+      if (std::isalnum(c) || c == '_') return false;
+    }
+    return true;
+  }
+
+  Status ExpectWord(const std::string& word) {
+    if (!WordAhead(word)) {
+      return Status::InvalidArgument(Where("expected '" + word + "'"));
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(Where("trailing characters"));
+    }
+    return Status::OK();
+  }
+
+  std::string Where(const std::string& what) const {
+    return "parse error at offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseProgramAll();
+}
+
+Result<DataType> ParseDataType(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDataTypeAll();
+}
+
+}  // namespace easeml::platform

@@ -1,0 +1,36 @@
+#ifndef EASEML_PLATFORM_DSL_PARSER_H_
+#define EASEML_PLATFORM_DSL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "platform/schema.h"
+
+namespace easeml::platform {
+
+/// Parses an ease.ml program in the compact system syntax of Figure 2/3:
+///
+///   {input:  {[Tensor[256,256,3]], []},
+///    output: {[Tensor[1000]], []}}
+///
+///   {input:  {[img :: Tensor[10]], [next]},
+///    output: {[Tensor[10]], [next]}}
+///
+/// Grammar (whitespace-insensitive):
+///   prog         ::= '{' 'input' ':' data_type ',' 'output' ':' data_type '}'
+///   data_type    ::= '{' '[' nonrec_list? ']' ',' '[' rec_list? ']' '}'
+///   nonrec_field ::= tensor | field_name '::' tensor
+///   tensor       ::= 'Tensor' '[' int (',' int)* ']'
+///   rec_list     ::= field_name (',' field_name)*
+///   field_name   ::= [a-z0-9_]+
+///
+/// Returns InvalidArgument with a position-annotated message on any
+/// syntactic or structural error.
+Result<Program> ParseProgram(const std::string& text);
+
+/// Parses a single data type, e.g. "{[Tensor[10]], [next]}".
+Result<DataType> ParseDataType(const std::string& text);
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_DSL_PARSER_H_

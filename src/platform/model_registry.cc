@@ -1,0 +1,73 @@
+#include "platform/model_registry.h"
+
+namespace easeml::platform {
+
+const ModelRegistry& ModelRegistry::Builtin() {
+  static const ModelRegistry* kRegistry = [] {
+    auto* r = new ModelRegistry();
+    using W = WorkloadType;
+    const std::vector<ModelInfo> all = {
+        // Image classification (metadata mirrors data/deeplearning.cc).
+        {"AlexNet", W::kImageClassification, 16000, 2012, 0.8, -0.060},
+        {"BN-AlexNet", W::kImageClassification, 4100, 2015, 1.0, -0.030},
+        {"NIN", W::kImageClassification, 1300, 2013, 1.0, -0.040},
+        {"GoogLeNet", W::kImageClassification, 5600, 2014, 2.5, 0.020},
+        {"ResNet-18", W::kImageClassification, 8200, 2015, 2.0, 0.030},
+        {"ResNet-50", W::kImageClassification, 8200, 2015, 5.0, 0.050},
+        {"VGG-16", W::kImageClassification, 9300, 2014, 6.0, 0.010},
+        {"SqueezeNet", W::kImageClassification, 620, 2016, 0.5, -0.050},
+        // Image recovery.
+        {"Auto-encoder", W::kImageRecovery, 3000, 2006, 1.5, -0.020},
+        {"GAN", W::kImageRecovery, 5200, 2014, 4.0, 0.030},
+        {"pix2pix", W::kImageRecovery, 900, 2016, 3.5, 0.040},
+        // Time series classification.
+        {"RNN", W::kTimeSeriesClassification, 7000, 1990, 1.0, -0.040},
+        {"LSTM", W::kTimeSeriesClassification, 9800, 1997, 1.6, 0.030},
+        {"bi-LSTM", W::kTimeSeriesClassification, 2400, 2005, 2.2, 0.040},
+        {"GRU", W::kTimeSeriesClassification, 3100, 2014, 1.4, 0.020},
+        // Time series translation.
+        {"seq2seq", W::kTimeSeriesTranslation, 4300, 2014, 3.0, 0.000},
+        // Tree classification.
+        {"Tree-RNN", W::kTreeClassification, 1200, 2013, 2.0, 0.020},
+        {"Tree-kernel-SVM", W::kTreeClassification, 1800, 2002, 0.7, -0.010},
+        // General fallbacks.
+        {"Bit-level-RNN", W::kGeneralClassification, 50, 2016, 2.5, -0.080},
+        {"Bit-level-Auto-encoder", W::kGeneralAutoEncoder, 40, 2016, 2.5,
+         -0.090},
+    };
+    for (const auto& m : all) {
+      // Built-in table has no duplicates; Register cannot fail here.
+      (void)r->Register(m);
+    }
+    return r;
+  }();
+  return *kRegistry;
+}
+
+Status ModelRegistry::Register(ModelInfo info) {
+  for (const auto& m : models_) {
+    if (m.name == info.name) {
+      return Status::AlreadyExists("model already registered: " + info.name);
+    }
+  }
+  models_.push_back(std::move(info));
+  return Status::OK();
+}
+
+Result<ModelInfo> ModelRegistry::Find(const std::string& name) const {
+  for (const auto& m : models_) {
+    if (m.name == name) return m;
+  }
+  return Status::NotFound("model not registered: " + name);
+}
+
+std::vector<ModelInfo> ModelRegistry::ForWorkload(
+    WorkloadType workload) const {
+  std::vector<ModelInfo> out;
+  for (const auto& m : models_) {
+    if (m.workload == workload) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace easeml::platform

@@ -1,0 +1,51 @@
+#ifndef EASEML_PLATFORM_MODEL_REGISTRY_H_
+#define EASEML_PLATFORM_MODEL_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/templates.h"
+
+namespace easeml::platform {
+
+/// Static metadata of a registered model architecture.
+struct ModelInfo {
+  std::string name;
+  WorkloadType workload;
+  int citations_2017;     // approximate Google-Scholar count
+  int publication_year;
+  double relative_cost;   // typical training cost, AlexNet == 1
+  double quality_offset;  // typical accuracy delta vs. a task baseline
+};
+
+/// Registry of every model the template table can produce, with the
+/// metadata the MOSTCITED / MOSTRECENT heuristics and the simulated
+/// training executor consume.
+class ModelRegistry {
+ public:
+  /// Registry pre-populated with all Figure-4 models.
+  static const ModelRegistry& Builtin();
+
+  /// An empty registry (for tests and custom deployments).
+  ModelRegistry() = default;
+
+  /// Adds a model; fails with AlreadyExists on duplicate names.
+  Status Register(ModelInfo info);
+
+  /// Looks up a model by exact name.
+  Result<ModelInfo> Find(const std::string& name) const;
+
+  /// All models consistent with a workload type.
+  std::vector<ModelInfo> ForWorkload(WorkloadType workload) const;
+
+  int size() const { return static_cast<int>(models_.size()); }
+  const std::vector<ModelInfo>& models() const { return models_; }
+
+ private:
+  std::vector<ModelInfo> models_;
+};
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_MODEL_REGISTRY_H_

@@ -1,0 +1,72 @@
+#include "platform/normalization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace easeml::platform {
+
+Result<NormalizationFunction> NormalizationFunction::Create(double k) {
+  if (!(k > 0.0)) {
+    return Status::InvalidArgument("NormalizationFunction: k must be > 0");
+  }
+  return NormalizationFunction(k);
+}
+
+double NormalizationFunction::Apply(double x) const {
+  x = std::clamp(x, 0.0, 1.0);
+  const double xk = std::pow(x, k_);
+  return -xk * xk + xk;  // -x^{2k} + x^k
+}
+
+double NormalizationFunction::PeakLocation() const {
+  return std::pow(0.5, 1.0 / k_);
+}
+
+std::vector<double> NormalizationFunction::NormalizeVector(
+    const std::vector<double>& values) const {
+  if (values.empty()) return {};
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  const double lo = *mn;
+  const double range = *mx - lo;
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double x = range > 0.0 ? (values[i] - lo) / range : 0.0;
+    out[i] = ApplyScaled(x);
+  }
+  return out;
+}
+
+std::string NormalizationFunction::ToString() const {
+  std::ostringstream os;
+  os << "norm(k=" << k_ << ")";
+  return os.str();
+}
+
+const std::vector<double>& DefaultNormalizationGrid() {
+  static const auto* kGrid = new std::vector<double>{0.2, 0.4, 0.6, 0.8};
+  return *kGrid;
+}
+
+std::string CandidateModel::DisplayName() const {
+  if (!has_normalization) return base_model;
+  std::ostringstream os;
+  os << base_model << "@norm(k=" << normalization_k << ")";
+  return os.str();
+}
+
+std::vector<CandidateModel> ExpandWithNormalization(
+    const std::vector<std::string>& base_models,
+    const std::vector<double>& k_grid) {
+  std::vector<CandidateModel> out;
+  out.reserve(base_models.size() * (k_grid.size() + 1));
+  for (const auto& m : base_models) {
+    out.push_back(CandidateModel{m, false, 0.0});
+    for (double k : k_grid) {
+      out.push_back(CandidateModel{m, true, k});
+    }
+  }
+  return out;
+}
+
+}  // namespace easeml::platform

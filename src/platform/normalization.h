@@ -1,0 +1,68 @@
+#ifndef EASEML_PLATFORM_NORMALIZATION_H_
+#define EASEML_PLATFORM_NORMALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace easeml::platform {
+
+/// Automatic input normalization (Figure 5): the family
+///   f_k(x) = -x^{2k} + x^k,   k > 0, x in [0, 1],
+/// compresses large dynamic ranges (astrophysics/proteomics inputs whose
+/// values span ten orders of magnitude) into an image-like range. Each k
+/// yields one additional candidate model.
+class NormalizationFunction {
+ public:
+  /// Precondition-checked factory: k must be positive.
+  static Result<NormalizationFunction> Create(double k);
+
+  double k() const { return k_; }
+
+  /// Raw family value f_k(x) = -x^{2k} + x^k. Input is clamped to [0, 1].
+  double Apply(double x) const;
+
+  /// f_k scaled so its peak maps to 1 (the figure's normalized value axis);
+  /// the peak of f_k is 1/4 at x = (1/2)^{1/k}.
+  double ApplyScaled(double x) const { return 4.0 * Apply(x); }
+
+  /// Location of the maximum, x* = (1/2)^{1/k}.
+  double PeakLocation() const;
+
+  /// Applies `ApplyScaled` elementwise after min-max rescaling `values`
+  /// into [0, 1] (identity rescaling when all values are equal).
+  std::vector<double> NormalizeVector(const std::vector<double>& values) const;
+
+  std::string ToString() const;  // "norm(k=0.2)"
+
+ private:
+  explicit NormalizationFunction(double k) : k_(k) {}
+  double k_;
+};
+
+/// The default k grid of Figure 5.
+const std::vector<double>& DefaultNormalizationGrid();  // {0.2,0.4,0.6,0.8}
+
+/// A candidate produced by candidate-model generation: a base model name
+/// plus an optional normalization preprocessing step.
+struct CandidateModel {
+  std::string base_model;
+  bool has_normalization = false;
+  double normalization_k = 0.0;
+
+  /// "ResNet-50" or "ResNet-50@norm(k=0.2)".
+  std::string DisplayName() const;
+};
+
+/// Expands base models with the normalization grid: for image-shaped
+/// workloads every (model, k) pair is one extra candidate, plus the
+/// un-normalized original (Section 2.1, "each normalization function ...
+/// together with a consistent model, generates one candidate model").
+std::vector<CandidateModel> ExpandWithNormalization(
+    const std::vector<std::string>& base_models,
+    const std::vector<double>& k_grid = DefaultNormalizationGrid());
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_NORMALIZATION_H_

@@ -1,0 +1,102 @@
+#include "platform/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace easeml::platform {
+
+long long TensorShape::NumElements() const {
+  long long n = 1;
+  for (int d : dims) n *= d;
+  return n;
+}
+
+std::string TensorShape::ToString() const {
+  std::ostringstream os;
+  os << "Tensor[";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) os << ",";
+    os << dims[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string DataType::ToString() const {
+  std::ostringstream os;
+  os << "{[";
+  for (size_t i = 0; i < nonrec_fields.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (!nonrec_fields[i].name.empty()) {
+      os << nonrec_fields[i].name << " :: ";
+    }
+    os << nonrec_fields[i].shape.ToString();
+  }
+  os << "], [";
+  for (size_t i = 0; i < rec_fields.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << rec_fields[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Program::ToString() const {
+  return "{input: " + input.ToString() + ", output: " + output.ToString() +
+         "}";
+}
+
+namespace {
+
+bool IsValidFieldName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status ValidateDataType(const DataType& dt, const std::string& side) {
+  if (dt.nonrec_fields.empty() && dt.rec_fields.empty()) {
+    return Status::InvalidArgument(side + ": data type has no fields");
+  }
+  for (const auto& f : dt.nonrec_fields) {
+    if (!f.name.empty() && !IsValidFieldName(f.name)) {
+      return Status::InvalidArgument(side + ": bad field name '" + f.name +
+                                     "'");
+    }
+    if (f.shape.dims.empty()) {
+      return Status::InvalidArgument(side + ": rank-0 tensor not allowed");
+    }
+    for (int d : f.shape.dims) {
+      if (d <= 0) {
+        return Status::InvalidArgument(side +
+                                       ": tensor dims must be positive");
+      }
+    }
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& r : dt.rec_fields) {
+    if (!IsValidFieldName(r)) {
+      return Status::InvalidArgument(side + ": bad recursive field name '" +
+                                     r + "'");
+    }
+    if (!seen.insert(r).second) {
+      return Status::InvalidArgument(side + ": duplicate recursive field '" +
+                                     r + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Program::Validate() const {
+  EASEML_RETURN_NOT_OK(ValidateDataType(input, "input"));
+  EASEML_RETURN_NOT_OK(ValidateDataType(output, "output"));
+  return Status::OK();
+}
+
+}  // namespace easeml::platform

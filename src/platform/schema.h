@@ -1,0 +1,57 @@
+#ifndef EASEML_PLATFORM_SCHEMA_H_
+#define EASEML_PLATFORM_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace easeml::platform {
+
+/// Shape of a constant-sized tensor, e.g. Tensor[256, 256, 3].
+struct TensorShape {
+  std::vector<int> dims;
+
+  int rank() const { return static_cast<int>(dims.size()); }
+  /// Total element count; 1 for rank-0.
+  long long NumElements() const;
+  std::string ToString() const;  // "Tensor[256,256,3]"
+  bool operator==(const TensorShape&) const = default;
+};
+
+/// A nonrecursive field: an optionally named constant-sized tensor
+/// (grammar: nonrec_field ::= Tensor[int list] | field_name :: Tensor[...]).
+struct NonRecField {
+  std::string name;  // may be empty (anonymous)
+  TensorShape shape;
+  bool operator==(const NonRecField&) const = default;
+};
+
+/// A data type of the ease.ml DSL (Figure 2): a list of nonrecursive tensor
+/// fields plus a list of recursive fields ("pointers" to the same type),
+/// which lets users express images, time series, and trees (Section 2.1).
+struct DataType {
+  std::vector<NonRecField> nonrec_fields;
+  std::vector<std::string> rec_fields;
+
+  std::string ToString() const;  // "{[Tensor[10]], [next]}"
+  bool operator==(const DataType&) const = default;
+};
+
+/// A user program: the high-level schema of a machine-learning task
+/// (grammar: prog ::= {input: data_type, output: data_type}).
+struct Program {
+  DataType input;
+  DataType output;
+
+  std::string ToString() const;
+  bool operator==(const Program&) const = default;
+
+  /// Structural checks: positive tensor dims, valid field names
+  /// ([a-z0-9_]*), no duplicate recursive field names.
+  Status Validate() const;
+};
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_SCHEMA_H_

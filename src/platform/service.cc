@@ -1,0 +1,162 @@
+#include "platform/service.h"
+
+#include <algorithm>
+
+#include "platform/templates.h"
+
+namespace easeml::platform {
+
+Result<EaseMlService> EaseMlService::Create(const Options& options) {
+  if (options.noisy_label_fraction < 0.0 ||
+      options.noisy_label_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "EaseMlService: noisy_label_fraction out of [0,1]");
+  }
+  EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector selector,
+                          core::MultiTenantSelector::Create(options.selector));
+  return EaseMlService(options, std::move(selector));
+}
+
+Result<int> EaseMlService::SubmitJob(const std::string& program_text,
+                                     double dynamic_range) {
+  if (dynamic_range < 1.0) {
+    return Status::InvalidArgument("SubmitJob: dynamic range must be >= 1");
+  }
+  JobInfo job;
+  EASEML_ASSIGN_OR_RETURN(job.program, ParseProgram(program_text));
+  EASEML_ASSIGN_OR_RETURN(TemplateMatch match, MatchTemplates(job.program));
+  job.workload = match.workload;
+  job.dynamic_range = dynamic_range;
+  // Hidden task difficulty: what the best model could reach with unlimited
+  // data. Unknown to the scheduler, only to the simulated world.
+  job.difficulty = rng_.Uniform(0.6, 0.95);
+
+  // Candidate generation: wide-dynamic-range inputs get one extra candidate
+  // per normalization function (Section 2.1 / Figure 5).
+  if (dynamic_range > 100.0) {
+    job.candidates = ExpandWithNormalization(match.candidate_models);
+  } else {
+    for (const auto& m : match.candidate_models) {
+      job.candidates.push_back(CandidateModel{m, false, 0.0});
+    }
+  }
+
+  const int job_id = num_jobs();
+  EASEML_ASSIGN_OR_RETURN(job.task_ids,
+                          pool_.AddUserTasks(job_id, job.candidates));
+
+  // Per-candidate costs from the registry metadata.
+  std::vector<double> costs;
+  costs.reserve(job.candidates.size());
+  for (const auto& c : job.candidates) {
+    EASEML_ASSIGN_OR_RETURN(ModelInfo info,
+                            ModelRegistry::Builtin().Find(c.base_model));
+    costs.push_back(info.relative_cost);
+  }
+  EASEML_ASSIGN_OR_RETURN(
+      int tenant, selector_.AddTenantWithDefaultPrior(
+                      static_cast<int>(job.candidates.size()), costs));
+  if (tenant != job_id) {
+    return Status::Internal("SubmitJob: tenant/job id mismatch");
+  }
+  jobs_.push_back(std::move(job));
+  return job_id;
+}
+
+Status EaseMlService::ValidateJob(int job) const {
+  if (job < 0 || job >= num_jobs()) {
+    return Status::OutOfRange("job id out of range: " + std::to_string(job));
+  }
+  return Status::OK();
+}
+
+Status EaseMlService::Feed(int job, int count) {
+  EASEML_RETURN_NOT_OK(ValidateJob(job));
+  if (count <= 0) {
+    return Status::InvalidArgument("Feed: count must be positive");
+  }
+  auto& examples = jobs_[job].examples;
+  for (int i = 0; i < count; ++i) {
+    Example e;
+    e.index = static_cast<int>(examples.size());
+    e.enabled = true;
+    e.noisy = rng_.Bernoulli(options_.noisy_label_fraction);
+    examples.push_back(e);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Example>> EaseMlService::ListExamples(int job) const {
+  EASEML_RETURN_NOT_OK(ValidateJob(job));
+  return jobs_[job].examples;
+}
+
+Status EaseMlService::Refine(int job, int example_index, bool enabled) {
+  EASEML_RETURN_NOT_OK(ValidateJob(job));
+  auto& examples = jobs_[job].examples;
+  if (example_index < 0 ||
+      example_index >= static_cast<int>(examples.size())) {
+    return Status::OutOfRange("Refine: example index out of range");
+  }
+  examples[example_index].enabled = enabled;
+  return Status::OK();
+}
+
+double EaseMlService::EffectiveExamples(const JobInfo& job) const {
+  double effective = 0.0;
+  for (const auto& e : job.examples) {
+    if (!e.enabled) continue;
+    effective += e.noisy ? 0.3 : 1.0;  // noisy labels teach less
+  }
+  return effective;
+}
+
+Result<InferReport> EaseMlService::Infer(int job) const {
+  EASEML_RETURN_NOT_OK(ValidateJob(job));
+  EASEML_ASSIGN_OR_RETURN(Task best, pool_.BestForUser(job));
+  InferReport report;
+  report.model_name = best.candidate.DisplayName();
+  report.accuracy = best.accuracy;
+  EASEML_ASSIGN_OR_RETURN(report.rounds_served, selector_.RoundsServed(job));
+  return report;
+}
+
+Result<Task> EaseMlService::Step() {
+  EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment assignment,
+                          selector_.Next());
+  JobInfo& job = jobs_[assignment.tenant];
+  const CandidateModel& candidate = job.candidates[assignment.model];
+  EASEML_ASSIGN_OR_RETURN(ModelInfo info,
+                          ModelRegistry::Builtin().Find(candidate.base_model));
+  TaskProfile profile;
+  profile.difficulty = job.difficulty;
+  profile.num_examples = std::max(1.0, EffectiveExamples(job));
+  profile.dynamic_range = job.dynamic_range;
+
+  const int task_id = job.task_ids[assignment.model];
+  EASEML_RETURN_NOT_OK(pool_.MarkRunning(task_id));
+  EASEML_ASSIGN_OR_RETURN(TrainingOutcome outcome,
+                          executor_.Train(info, candidate, profile));
+  EASEML_RETURN_NOT_OK(
+      pool_.MarkDone(task_id, outcome.accuracy, outcome.duration));
+  EASEML_RETURN_NOT_OK(selector_.Report(assignment, outcome.accuracy));
+  return pool_.Get(task_id);
+}
+
+Result<int> EaseMlService::RunSteps(int n) {
+  if (n < 0) return Status::InvalidArgument("RunSteps: negative count");
+  int taken = 0;
+  for (int i = 0; i < n && !Exhausted(); ++i) {
+    EASEML_ASSIGN_OR_RETURN(Task task, Step());
+    (void)task;
+    ++taken;
+  }
+  return taken;
+}
+
+Result<std::vector<CandidateModel>> EaseMlService::Candidates(int job) const {
+  EASEML_RETURN_NOT_OK(ValidateJob(job));
+  return jobs_[job].candidates;
+}
+
+}  // namespace easeml::platform

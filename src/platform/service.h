@@ -1,0 +1,121 @@
+#ifndef EASEML_PLATFORM_SERVICE_H_
+#define EASEML_PLATFORM_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/multi_tenant_selector.h"
+#include "platform/dsl_parser.h"
+#include "platform/model_registry.h"
+#include "platform/task_pool.h"
+#include "platform/training_executor.h"
+
+namespace easeml::platform {
+
+/// One supervision pair a user `feed`s into the system. `noisy` marks labels
+/// produced by weak/distant supervision that the user may `refine` away.
+struct Example {
+  int index = -1;
+  bool enabled = true;
+  bool noisy = false;
+};
+
+/// What `infer` returns: the best model found so far and its accuracy.
+struct InferReport {
+  std::string model_name;
+  double accuracy = 0.0;
+  int rounds_served = 0;
+};
+
+/// The end-to-end ease.ml service (Figure 1): declarative job submission,
+/// the feed/refine/infer operators (Figure 3), schema matching and task
+/// generation, and resource allocation via the multi-tenant selector, all
+/// running against the simulated training backend.
+class EaseMlService {
+ public:
+  struct Options {
+    core::SelectorOptions selector;
+    SimulatedTrainingExecutor::Options executor;
+    /// Fraction of fed examples whose labels are noisy (weak supervision).
+    double noisy_label_fraction = 0.1;
+    uint64_t seed = 1;
+  };
+
+  static Result<EaseMlService> Create(const Options& options);
+
+  /// Submits a declarative job. `program_text` is the Figure-2 DSL;
+  /// `dynamic_range` describes the user's raw input range (inputs wider
+  /// than image-like data get normalization candidates, Section 2.1).
+  /// Returns the new job (tenant) id.
+  Result<int> SubmitJob(const std::string& program_text,
+                        double dynamic_range = 100.0);
+
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+
+  /// `feed`: registers `count` new supervision pairs for the job.
+  Status Feed(int job, int count);
+
+  /// Examples fed so far (the refine UI's list).
+  Result<std::vector<Example>> ListExamples(int job) const;
+
+  /// `refine`: enables/disables one example.
+  Status Refine(int job, int example_index, bool enabled);
+
+  /// `infer`: reports the best model so far; NotFound before any model
+  /// finished training.
+  Result<InferReport> Infer(int job) const;
+
+  /// Runs one resource-allocation step: asks the selector for the next
+  /// (tenant, model), trains it on the simulated backend, and feeds the
+  /// result back. Returns the finished task. Fails with FailedPrecondition
+  /// when all jobs are exhausted.
+  Result<Task> Step();
+
+  /// Convenience: runs `n` steps or until exhausted; returns steps taken.
+  Result<int> RunSteps(int n);
+
+  /// True when every job has trained all its candidates.
+  bool Exhausted() const { return selector_.Exhausted(); }
+
+  /// Candidate models generated for a job by template matching (+
+  /// normalization expansion).
+  Result<std::vector<CandidateModel>> Candidates(int job) const;
+
+  /// Simulated GPU time consumed so far.
+  double ClusterTime() const { return executor_.clock(); }
+
+ private:
+  struct JobInfo {
+    Program program;
+    WorkloadType workload;
+    std::vector<CandidateModel> candidates;
+    std::vector<int> task_ids;     // aligned with candidates
+    std::vector<Example> examples;
+    double difficulty = 0.8;       // hidden task difficulty
+    double dynamic_range = 100.0;
+  };
+
+  EaseMlService(const Options& options, core::MultiTenantSelector selector)
+      : options_(options),
+        selector_(std::move(selector)),
+        executor_(options.executor),
+        rng_(options.seed) {}
+
+  Status ValidateJob(int job) const;
+
+  /// Effective supervision volume: disabled examples do not count and noisy
+  /// ones count at a discount.
+  double EffectiveExamples(const JobInfo& job) const;
+
+  Options options_;
+  core::MultiTenantSelector selector_;
+  SimulatedTrainingExecutor executor_;
+  Rng rng_;
+  TaskPool pool_;
+  std::vector<JobInfo> jobs_;
+};
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_SERVICE_H_

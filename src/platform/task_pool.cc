@@ -1,0 +1,104 @@
+#include "platform/task_pool.h"
+
+namespace easeml::platform {
+
+Result<std::vector<int>> TaskPool::AddUserTasks(
+    int user_id, const std::vector<CandidateModel>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("AddUserTasks: no candidates");
+  }
+  if (user_id < 0) {
+    return Status::InvalidArgument("AddUserTasks: negative user id");
+  }
+  std::vector<int> ids;
+  ids.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    Task t;
+    t.task_id = static_cast<int>(tasks_.size());
+    t.user_id = user_id;
+    t.candidate = c;
+    ids.push_back(t.task_id);
+    tasks_.push_back(std::move(t));
+  }
+  return ids;
+}
+
+Status TaskPool::Validate(int task_id) const {
+  if (task_id < 0 || task_id >= num_tasks()) {
+    return Status::OutOfRange("task id out of range: " +
+                              std::to_string(task_id));
+  }
+  return Status::OK();
+}
+
+Result<Task> TaskPool::Get(int task_id) const {
+  EASEML_RETURN_NOT_OK(Validate(task_id));
+  return tasks_[task_id];
+}
+
+Status TaskPool::MarkRunning(int task_id) {
+  EASEML_RETURN_NOT_OK(Validate(task_id));
+  if (tasks_[task_id].state != TaskState::kPending) {
+    return Status::FailedPrecondition("MarkRunning: task not pending");
+  }
+  tasks_[task_id].state = TaskState::kRunning;
+  return Status::OK();
+}
+
+Status TaskPool::MarkDone(int task_id, double accuracy, double duration) {
+  EASEML_RETURN_NOT_OK(Validate(task_id));
+  if (tasks_[task_id].state != TaskState::kRunning) {
+    return Status::FailedPrecondition("MarkDone: task not running");
+  }
+  if (accuracy < 0.0 || accuracy > 1.0) {
+    return Status::InvalidArgument("MarkDone: accuracy out of [0,1]");
+  }
+  if (duration < 0.0) {
+    return Status::InvalidArgument("MarkDone: negative duration");
+  }
+  tasks_[task_id].state = TaskState::kDone;
+  tasks_[task_id].accuracy = accuracy;
+  tasks_[task_id].duration = duration;
+  return Status::OK();
+}
+
+std::vector<Task> TaskPool::PendingForUser(int user_id) const {
+  std::vector<Task> out;
+  for (const auto& t : tasks_) {
+    if (t.user_id == user_id && t.state == TaskState::kPending) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<Task> TaskPool::TasksForUser(int user_id) const {
+  std::vector<Task> out;
+  for (const auto& t : tasks_) {
+    if (t.user_id == user_id) out.push_back(t);
+  }
+  return out;
+}
+
+Result<Task> TaskPool::BestForUser(int user_id) const {
+  const Task* best = nullptr;
+  for (const auto& t : tasks_) {
+    if (t.user_id != user_id || t.state != TaskState::kDone) continue;
+    if (best == nullptr || t.accuracy > best->accuracy) best = &t;
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no finished task for user " +
+                            std::to_string(user_id));
+  }
+  return *best;
+}
+
+int TaskPool::CountInState(TaskState state) const {
+  int count = 0;
+  for (const auto& t : tasks_) {
+    if (t.state == state) ++count;
+  }
+  return count;
+}
+
+}  // namespace easeml::platform

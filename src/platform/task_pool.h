@@ -1,0 +1,64 @@
+#ifndef EASEML_PLATFORM_TASK_POOL_H_
+#define EASEML_PLATFORM_TASK_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/normalization.h"
+
+namespace easeml::platform {
+
+/// Lifecycle of one training task.
+enum class TaskState { kPending, kRunning, kDone };
+
+/// One (user, candidate model) training task in the user-level task pool of
+/// Figure 1 (step 1: "schema matching and task generation").
+struct Task {
+  int task_id = -1;
+  int user_id = -1;
+  CandidateModel candidate;
+  TaskState state = TaskState::kPending;
+  double accuracy = 0.0;       // valid once kDone
+  double duration = 0.0;       // simulated execution time once kDone
+};
+
+/// The user-level task pool: every submitted job expands into one task per
+/// candidate model; the resource-allocation layer (the multi-tenant
+/// selector) decides execution order.
+class TaskPool {
+ public:
+  /// Registers a user's candidate tasks; returns the new task ids.
+  /// Fails if `candidates` is empty.
+  Result<std::vector<int>> AddUserTasks(
+      int user_id, const std::vector<CandidateModel>& candidates);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+
+  Result<Task> Get(int task_id) const;
+
+  /// State transitions; only kPending -> kRunning -> kDone are legal.
+  Status MarkRunning(int task_id);
+  Status MarkDone(int task_id, double accuracy, double duration);
+
+  /// Pending tasks of one user.
+  std::vector<Task> PendingForUser(int user_id) const;
+
+  /// All tasks of one user.
+  std::vector<Task> TasksForUser(int user_id) const;
+
+  /// Completed task with the best accuracy for `user_id`; NotFound when the
+  /// user has no finished task (this backs the `infer` operator).
+  Result<Task> BestForUser(int user_id) const;
+
+  /// Number of tasks in each state across the pool.
+  int CountInState(TaskState state) const;
+
+ private:
+  Status Validate(int task_id) const;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_TASK_POOL_H_

@@ -1,0 +1,96 @@
+#include "platform/templates.h"
+
+namespace easeml::platform {
+
+std::string WorkloadTypeName(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kImageClassification:
+      return "image/tensor classification";
+    case WorkloadType::kImageRecovery:
+      return "image/tensor recovery";
+    case WorkloadType::kTimeSeriesClassification:
+      return "time series classification";
+    case WorkloadType::kTimeSeriesTranslation:
+      return "time series translation";
+    case WorkloadType::kTreeClassification:
+      return "tree classification";
+    case WorkloadType::kGeneralClassification:
+      return "general classification";
+    case WorkloadType::kGeneralAutoEncoder:
+      return "general auto-encoder";
+  }
+  return "unknown";
+}
+
+bool SidePattern::Matches(const DataType& dt) const {
+  const size_t required = tensor_ranks.size();
+  if (tensor_tail_wildcard) {
+    if (dt.nonrec_fields.size() < required) return false;
+  } else {
+    if (dt.nonrec_fields.size() != required) return false;
+  }
+  for (size_t i = 0; i < required; ++i) {
+    if (dt.nonrec_fields[i].shape.rank() != tensor_ranks[i]) return false;
+  }
+  if (!rec_wildcard &&
+      static_cast<int>(dt.rec_fields.size()) != rec_count) {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<ModelTemplate>& BuiltinTemplates() {
+  // The Figure-4 table, top (most specific) to bottom (most general).
+  static const auto* kTemplates = new std::vector<ModelTemplate>{
+      // Input {[Tensor[A,B,C]], []} -> Output {[Tensor[D]], []}.
+      {{{3}, false, 0, false},
+       {{1}, false, 0, false},
+       WorkloadType::kImageClassification,
+       {"AlexNet", "ResNet-50", "ResNet-18", "GoogLeNet", "SqueezeNet",
+        "VGG-16", "NIN", "BN-AlexNet"}},
+      // Input {[Tensor[A,B,C]], []} -> Output {[Tensor[D,E,F]], []}.
+      {{{3}, false, 0, false},
+       {{3}, false, 0, false},
+       WorkloadType::kImageRecovery,
+       {"Auto-encoder", "GAN", "pix2pix"}},
+      // Input {[Tensor[A], *], [a]} -> Output {[Tensor[D]], []}.
+      {{{1}, true, 1, false},
+       {{1}, false, 0, false},
+       WorkloadType::kTimeSeriesClassification,
+       {"RNN", "LSTM", "bi-LSTM", "GRU"}},
+      // Input {[Tensor[A], *], [a]} -> Output {[Tensor[B], *], [b]}.
+      {{{1}, true, 1, false},
+       {{1}, true, 1, false},
+       WorkloadType::kTimeSeriesTranslation,
+       {"seq2seq"}},
+      // Input {[Tensor[A], *], [a, c]} -> Output {[Tensor[B]], []}.
+      {{{1}, true, 2, false},
+       {{1}, false, 0, false},
+       WorkloadType::kTreeClassification,
+       {"Tree-RNN", "Tree-kernel-SVM"}},
+      // Input {[*], [*]} -> Output {[Tensor[B]], []}.
+      {{{}, true, 0, true},
+       {{1}, false, 0, false},
+       WorkloadType::kGeneralClassification,
+       {"Bit-level-RNN"}},
+      // Input {[*], [*]} -> Output {[*], [*]}.
+      {{{}, true, 0, true},
+       {{}, true, 0, true},
+       WorkloadType::kGeneralAutoEncoder,
+       {"Bit-level-Auto-encoder"}},
+  };
+  return *kTemplates;
+}
+
+Result<TemplateMatch> MatchTemplates(const Program& program) {
+  EASEML_RETURN_NOT_OK(program.Validate());
+  for (const auto& t : BuiltinTemplates()) {
+    if (t.input.Matches(program.input) && t.output.Matches(program.output)) {
+      return TemplateMatch{t.workload, t.candidate_models};
+    }
+  }
+  return Status::NotFound("no template matches program " +
+                          program.ToString());
+}
+
+}  // namespace easeml::platform

@@ -1,0 +1,69 @@
+#ifndef EASEML_PLATFORM_TEMPLATES_H_
+#define EASEML_PLATFORM_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/schema.h"
+
+namespace easeml::platform {
+
+/// Workload categories of the template table (Figure 4).
+enum class WorkloadType {
+  kImageClassification,
+  kImageRecovery,
+  kTimeSeriesClassification,
+  kTimeSeriesTranslation,
+  kTreeClassification,
+  kGeneralClassification,
+  kGeneralAutoEncoder,
+};
+
+std::string WorkloadTypeName(WorkloadType type);
+
+/// One side (input or output) of a template pattern.
+///
+/// `tensor_ranks` lists the required ranks of the leading tensor fields
+/// (dimension constants A, B, ... match any positive size). If
+/// `tensor_tail_wildcard`, any further tensor fields are accepted ("*" in
+/// Figure 4). `rec_count` is the required number of recursive fields, or
+/// any number when `rec_wildcard`.
+struct SidePattern {
+  std::vector<int> tensor_ranks;
+  bool tensor_tail_wildcard = false;
+  int rec_count = 0;
+  bool rec_wildcard = false;
+
+  /// True iff `dt` matches this side.
+  bool Matches(const DataType& dt) const;
+};
+
+/// A row of the Figure-4 table: input pattern, output pattern, workload
+/// type, and the consistent candidate model names.
+struct ModelTemplate {
+  SidePattern input;
+  SidePattern output;
+  WorkloadType workload;
+  std::vector<std::string> candidate_models;
+};
+
+/// The built-in template table, ordered from most to least specific
+/// ("matching order goes from top to bottom").
+const std::vector<ModelTemplate>& BuiltinTemplates();
+
+/// Result of matching a program against the table.
+struct TemplateMatch {
+  WorkloadType workload;
+  std::vector<std::string> candidate_models;
+};
+
+/// Matches `program` against the built-in templates, returning the first
+/// (most specific) hit. Fails with NotFound if nothing matches — which
+/// cannot happen for valid programs, as the last two rows are fully
+/// general; the error is reachable only for programs with no fields.
+Result<TemplateMatch> MatchTemplates(const Program& program);
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_TEMPLATES_H_

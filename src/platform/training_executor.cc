@@ -1,0 +1,64 @@
+#include "platform/training_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easeml::platform {
+
+Result<TrainingOutcome> SimulatedTrainingExecutor::Train(
+    const ModelInfo& model, const CandidateModel& candidate,
+    const TaskProfile& task) {
+  if (task.difficulty < 0.0 || task.difficulty > 1.0) {
+    return Status::InvalidArgument("Train: difficulty out of [0,1]");
+  }
+  if (task.num_examples <= 0.0) {
+    return Status::InvalidArgument("Train: need positive example count");
+  }
+  if (task.dynamic_range < 1.0) {
+    return Status::InvalidArgument("Train: dynamic range must be >= 1");
+  }
+  if (candidate.base_model != model.name) {
+    return Status::InvalidArgument(
+        "Train: candidate/model name mismatch: " + candidate.DisplayName() +
+        " vs " + model.name);
+  }
+
+  // Saturating benefit of supervision volume.
+  const double data_factor =
+      task.num_examples / (task.num_examples + options_.examples_half_life);
+
+  // Dynamic-range handling. The ideal normalization strength shrinks as the
+  // range grows; raw wide-range inputs lose a large constant chunk.
+  const double log_range = std::log10(std::max(1.0, task.dynamic_range));
+  double range_penalty = 0.0;
+  if (log_range > 2.0) {  // wider than image-like data
+    if (!candidate.has_normalization) {
+      range_penalty = options_.range_penalty * (1.0 - 2.0 / log_range);
+    } else {
+      const double k_opt = std::clamp(2.0 / log_range, 0.1, 1.0);
+      range_penalty = 0.15 * std::fabs(candidate.normalization_k - k_opt);
+    }
+  }
+
+  const double base =
+      task.difficulty * data_factor + model.quality_offset - range_penalty;
+
+  // Learning-rate grid search: keep the best of `lr_grid_size` noisy runs.
+  double best = 0.0;
+  for (int g = 0; g < options_.lr_grid_size; ++g) {
+    const double run =
+        base + rng_.Normal(0.0, options_.lr_luck_stddev);
+    best = std::max(best, std::clamp(run, 0.0, 1.0));
+  }
+
+  TrainingOutcome outcome;
+  outcome.accuracy = best;
+  outcome.duration = model.relative_cost *
+                     static_cast<double>(options_.lr_grid_size) *
+                     static_cast<double>(options_.epochs_per_setting) *
+                     (task.num_examples / 1000.0);
+  clock_ += outcome.duration;
+  return outcome;
+}
+
+}  // namespace easeml::platform

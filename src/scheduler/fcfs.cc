@@ -1,0 +1,14 @@
+#include "scheduler/fcfs.h"
+
+namespace easeml::scheduler {
+
+Result<int> FcfsScheduler::PickUser(const std::vector<UserState>& users,
+                                    int round) {
+  (void)round;
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (users[i].Schedulable()) return static_cast<int>(i);
+  }
+  return Status::FailedPrecondition("FCFS: all users exhausted");
+}
+
+}  // namespace easeml::scheduler

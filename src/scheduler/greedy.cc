@@ -1,0 +1,98 @@
+#include "scheduler/greedy.h"
+
+#include <cmath>
+#include <limits>
+
+namespace easeml::scheduler {
+
+std::string Line8RuleName(Line8Rule rule) {
+  switch (rule) {
+    case Line8Rule::kMaxUcbGap:
+      return "max-ucb-gap";
+    case Line8Rule::kMaxEmpiricalBound:
+      return "max-empirical-bound";
+    case Line8Rule::kRandom:
+      return "random-candidate";
+  }
+  return "unknown";
+}
+
+std::vector<int> ComputeCandidateSet(const std::vector<UserState>& users) {
+  std::vector<int> active;
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (users[i].Schedulable()) active.push_back(static_cast<int>(i));
+  }
+  if (active.empty()) return {};
+
+  // Users with no observations have sigma~ = +inf; they are always
+  // candidates and are excluded from the finite average.
+  double sum = 0.0;
+  int finite_count = 0;
+  for (int i : active) {
+    const double s = users[i].empirical_bound();
+    if (std::isfinite(s)) {
+      sum += s;
+      ++finite_count;
+    }
+  }
+  if (finite_count == 0) return active;
+  const double avg = sum / finite_count;
+
+  std::vector<int> candidates;
+  for (int i : active) {
+    if (users[i].empirical_bound() >= avg) candidates.push_back(i);
+  }
+  // Numerical guard: with identical bounds, >= avg keeps everyone; with
+  // pathological rounding the set could come out empty — fall back to all
+  // active users (any rule over the candidate set preserves the bound).
+  if (candidates.empty()) return active;
+  return candidates;
+}
+
+Result<int> GreedyScheduler::PickUser(const std::vector<UserState>& users,
+                                      int round) {
+  (void)round;
+  for (const auto& u : users) {
+    if (u.gp_policy() == nullptr) {
+      return Status::FailedPrecondition(
+          "Greedy: user " + std::to_string(u.user_id()) +
+          " does not run GP-UCB");
+    }
+  }
+  const std::vector<int> candidates = ComputeCandidateSet(users);
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("Greedy: all users exhausted");
+  }
+  switch (rule_) {
+    case Line8Rule::kRandom:
+      return candidates[rng_.UniformInt(
+          0, static_cast<int>(candidates.size()) - 1)];
+    case Line8Rule::kMaxEmpiricalBound: {
+      int best = candidates[0];
+      double best_bound = -std::numeric_limits<double>::infinity();
+      for (int i : candidates) {
+        const double b = users[i].empirical_bound();
+        if (b > best_bound) {
+          best_bound = b;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case Line8Rule::kMaxUcbGap: {
+      int best = candidates[0];
+      double best_gap = -std::numeric_limits<double>::infinity();
+      for (int i : candidates) {
+        const double gap = users[i].UcbGap();
+        if (gap > best_gap) {
+          best_gap = gap;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return Status::Internal("Greedy: unknown line-8 rule");
+}
+
+}  // namespace easeml::scheduler

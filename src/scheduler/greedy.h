@@ -1,0 +1,62 @@
+#ifndef EASEML_SCHEDULER_GREEDY_H_
+#define EASEML_SCHEDULER_GREEDY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "scheduler/scheduler_policy.h"
+
+namespace easeml::scheduler {
+
+/// Candidate set V_t of Algorithm 2 line 7: active users whose empirical
+/// confidence bound sigma~ is at least the average over active users.
+/// Users without observations yet (infinite sigma~) are always candidates.
+/// Returns an empty vector when no user is active.
+std::vector<int> ComputeCandidateSet(const std::vector<UserState>& users);
+
+/// How line 8 of Algorithm 2 picks one user from the candidate set. The
+/// paper proves the regret bound for ANY rule ("the regret bound remains
+/// the same regardless of the rule") but observes that the choice matters
+/// in practice (Section 4.3, "Strategy for Line 8"); these are the three
+/// variants it discusses.
+enum class Line8Rule {
+  /// ease.ml's production rule: maximum gap between the largest upper
+  /// confidence bound and the best accuracy so far.
+  kMaxUcbGap,
+  /// Maximum empirical variance sigma~.
+  kMaxEmpiricalBound,
+  /// Uniformly random candidate.
+  kRandom,
+};
+
+std::string Line8RuleName(Line8Rule rule);
+
+/// GREEDY user picking (Algorithm 2, Section 4.3).
+///
+/// Phase 1 computes the candidate set from the empirical confidence bounds;
+/// phase 2 picks one candidate according to the configured line-8 rule.
+/// Requires every user to run a GP-UCB model-picking policy and the
+/// initialization sweep of Algorithm 2 lines 1-4.
+class GreedyScheduler : public SchedulerPolicy {
+ public:
+  explicit GreedyScheduler(Line8Rule rule = Line8Rule::kMaxUcbGap,
+                           uint64_t seed = 0)
+      : rule_(rule), rng_(seed) {}
+
+  Result<int> PickUser(const std::vector<UserState>& users,
+                       int round) override;
+  bool RequiresInitialSweep() const override { return true; }
+  std::string name() const override { return "greedy"; }
+
+  Line8Rule rule() const { return rule_; }
+
+ private:
+  Line8Rule rule_;
+  Rng rng_;
+};
+
+}  // namespace easeml::scheduler
+
+#endif  // EASEML_SCHEDULER_GREEDY_H_

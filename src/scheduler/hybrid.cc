@@ -1,0 +1,37 @@
+#include "scheduler/hybrid.h"
+
+namespace easeml::scheduler {
+
+namespace {
+double TotalBestReward(const std::vector<UserState>& users) {
+  double acc = 0.0;
+  for (const auto& u : users) acc += u.best_reward();
+  return acc;
+}
+}  // namespace
+
+Result<int> HybridScheduler::PickUser(const std::vector<UserState>& users,
+                                      int round) {
+  if (switched_) return round_robin_.PickUser(users, round);
+  return greedy_.PickUser(users, round);
+}
+
+void HybridScheduler::OnOutcome(const std::vector<UserState>& users,
+                                int served_user) {
+  (void)served_user;
+  if (switched_) return;
+  const std::vector<int> candidates = ComputeCandidateSet(users);
+  const double total_best = TotalBestReward(users);
+  // "The candidate set remains unchanged and the overall regret does not
+  // drop": total regret drops exactly when some user's best accuracy
+  // improves, which is observable as an increase of the summed best reward.
+  const bool frozen = have_snapshot_ && candidates == last_candidates_ &&
+                      total_best <= last_total_best_ + 1e-12;
+  frozen_steps_ = frozen ? frozen_steps_ + 1 : 0;
+  last_candidates_ = candidates;
+  last_total_best_ = total_best;
+  have_snapshot_ = true;
+  if (frozen_steps_ >= patience_) switched_ = true;
+}
+
+}  // namespace easeml::scheduler

@@ -1,0 +1,15 @@
+#include "scheduler/random_scheduler.h"
+
+namespace easeml::scheduler {
+
+Result<int> RandomScheduler::PickUser(const std::vector<UserState>& users,
+                                      int round) {
+  (void)round;
+  const std::vector<int> active = ActiveUsers(users);
+  if (active.empty()) {
+    return Status::FailedPrecondition("Random: all users exhausted");
+  }
+  return active[rng_.UniformInt(0, static_cast<int>(active.size()) - 1)];
+}
+
+}  // namespace easeml::scheduler

@@ -1,0 +1,20 @@
+#include "scheduler/round_robin.h"
+
+namespace easeml::scheduler {
+
+Result<int> RoundRobinScheduler::PickUser(const std::vector<UserState>& users,
+                                          int round) {
+  (void)round;
+  const int n = static_cast<int>(users.size());
+  if (n == 0) return Status::InvalidArgument("RoundRobin: no users");
+  for (int step = 0; step < n; ++step) {
+    const int candidate = (cursor_ + step) % n;
+    if (users[candidate].Schedulable()) {
+      cursor_ = (candidate + 1) % n;
+      return candidate;
+    }
+  }
+  return Status::FailedPrecondition("RoundRobin: all users exhausted");
+}
+
+}  // namespace easeml::scheduler

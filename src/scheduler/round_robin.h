@@ -1,0 +1,22 @@
+#ifndef EASEML_SCHEDULER_ROUND_ROBIN_H_
+#define EASEML_SCHEDULER_ROUND_ROBIN_H_
+
+#include "scheduler/scheduler_policy.h"
+
+namespace easeml::scheduler {
+
+/// ROUNDROBIN (Section 4.2): serves users cyclically, skipping exhausted
+/// ones. Enforces absolute fairness; Theorem 2 proves its regret bound.
+class RoundRobinScheduler : public SchedulerPolicy {
+ public:
+  Result<int> PickUser(const std::vector<UserState>& users,
+                       int round) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  int cursor_ = 0;  // next user position to try
+};
+
+}  // namespace easeml::scheduler
+
+#endif  // EASEML_SCHEDULER_ROUND_ROBIN_H_

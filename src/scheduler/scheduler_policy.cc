@@ -1,0 +1,15 @@
+#include "scheduler/scheduler_policy.h"
+
+namespace easeml::scheduler {
+
+std::vector<int> SchedulerPolicy::ActiveUsers(
+    const std::vector<UserState>& users) {
+  std::vector<int> active;
+  active.reserve(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (users[i].Schedulable()) active.push_back(static_cast<int>(i));
+  }
+  return active;
+}
+
+}  // namespace easeml::scheduler

@@ -1,0 +1,49 @@
+#ifndef EASEML_SCHEDULER_SCHEDULER_POLICY_H_
+#define EASEML_SCHEDULER_SCHEDULER_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scheduler/user_state.h"
+
+namespace easeml::scheduler {
+
+/// User-picking phase of the multi-tenant selection loop (Section 4).
+///
+/// At each global round the simulator (or the live service) asks the
+/// scheduler which tenant to serve next; that tenant then runs one step of
+/// its own model-picking policy. Exhausted tenants (all models trained) must
+/// never be returned.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Picks the next user to serve. `round` is the global round counter,
+  /// 1-based. Fails with FailedPrecondition when every user is exhausted.
+  virtual Result<int> PickUser(const std::vector<UserState>& users,
+                               int round) = 0;
+
+  /// Called after the served user's outcome has been recorded; lets
+  /// stateful schedulers (HYBRID's freeze detector) observe progress.
+  virtual void OnOutcome(const std::vector<UserState>& users,
+                         int served_user) {
+    (void)users;
+    (void)served_user;
+  }
+
+  /// Whether the algorithm requires the initialization sweep of Algorithm 2
+  /// (serve every user once before regular scheduling).
+  virtual bool RequiresInitialSweep() const { return false; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Indices of users a scheduler may serve now (see
+  /// UserState::Schedulable).
+  static std::vector<int> ActiveUsers(const std::vector<UserState>& users);
+};
+
+}  // namespace easeml::scheduler
+
+#endif  // EASEML_SCHEDULER_SCHEDULER_POLICY_H_

@@ -1,0 +1,98 @@
+#include "scheduler/user_state.h"
+
+#include <algorithm>
+
+namespace easeml::scheduler {
+
+UserState::UserState(int user_id,
+                     std::unique_ptr<bandit::BanditPolicy> policy,
+                     std::vector<double> costs)
+    : user_id_(user_id),
+      policy_(std::move(policy)),
+      costs_(std::move(costs)),
+      played_(costs_.size(), false) {
+  gp_view_ = dynamic_cast<bandit::GpUcbPolicy*>(policy_.get());
+}
+
+Result<UserState> UserState::Create(
+    int user_id, std::unique_ptr<bandit::BanditPolicy> policy,
+    std::vector<double> costs) {
+  if (policy == nullptr) {
+    return Status::InvalidArgument("UserState: null policy");
+  }
+  if (static_cast<int>(costs.size()) != policy->num_arms()) {
+    return Status::InvalidArgument("UserState: one cost per arm required");
+  }
+  for (double c : costs) {
+    if (c <= 0.0) {
+      return Status::InvalidArgument("UserState: costs must be positive");
+    }
+  }
+  return UserState(user_id, std::move(policy), std::move(costs));
+}
+
+std::vector<int> UserState::AvailableArms() const {
+  std::vector<int> arms;
+  arms.reserve(played_.size() - num_played_);
+  for (int a = 0; a < num_models(); ++a) {
+    if (!played_[a]) arms.push_back(a);
+  }
+  return arms;
+}
+
+Result<int> UserState::SelectArm() {
+  if (pending_arm_ >= 0) {
+    return Status::FailedPrecondition(
+        "SelectArm: outcome of previous selection not recorded");
+  }
+  if (Exhausted()) {
+    return Status::FailedPrecondition("SelectArm: all models trained");
+  }
+  const int t = rounds_served_ + 1;
+  EASEML_ASSIGN_OR_RETURN(int arm, policy_->SelectArm(AvailableArms(), t));
+  pending_arm_ = arm;
+  // Capture B_t(a_t) for the sigma~ recurrence. Non-GP policies have no
+  // confidence bound; use the trivially correct bound of 1 (max accuracy).
+  pending_ucb_ = gp_view_ != nullptr ? gp_view_->Ucb(arm, t) : 1.0;
+  return arm;
+}
+
+Status UserState::RecordOutcome(int arm, double reward) {
+  if (pending_arm_ < 0) {
+    return Status::FailedPrecondition("RecordOutcome: no pending selection");
+  }
+  if (arm != pending_arm_) {
+    return Status::InvalidArgument(
+        "RecordOutcome: arm does not match pending selection");
+  }
+  EASEML_RETURN_NOT_OK(policy_->Update(arm, reward));
+  played_[arm] = true;
+  ++num_played_;
+  ++rounds_served_;
+  consumed_cost_ += costs_[arm];
+  last_reward_ = reward;
+  best_reward_ = std::max(best_reward_, reward);
+
+  // Algorithm 2, line 6.
+  const double bound = std::min(pending_ucb_, min_empirical_ucb_);
+  empirical_bound_ = bound - reward;
+  min_empirical_ucb_ = std::min(min_empirical_ucb_, reward + empirical_bound_);
+
+  pending_arm_ = -1;
+  pending_ucb_ = 0.0;
+  return Status::OK();
+}
+
+double UserState::MaxUcb() const {
+  if (Exhausted()) return -std::numeric_limits<double>::infinity();
+  const int t = rounds_served_ + 1;
+  double best = -std::numeric_limits<double>::infinity();
+  for (int a = 0; a < num_models(); ++a) {
+    if (played_[a]) continue;
+    const double u = gp_view_ != nullptr ? gp_view_->Ucb(a, t) : 1.0;
+    best = std::max(best, u);
+  }
+  return best;
+}
+
+}  // namespace easeml::scheduler

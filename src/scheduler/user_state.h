@@ -1,0 +1,122 @@
+#ifndef EASEML_SCHEDULER_USER_STATE_H_
+#define EASEML_SCHEDULER_USER_STATE_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bandit/bandit_policy.h"
+#include "bandit/gp_ucb.h"
+#include "common/status.h"
+
+namespace easeml::scheduler {
+
+/// Per-tenant runtime state of the multi-tenant selection loop.
+///
+/// Wraps the tenant's model-picking policy (usually GP-UCB) and keeps the
+/// bookkeeping the GREEDY user-picking phase needs (Algorithm 2, line 6):
+/// after the user's m-th observation y_m of arm a_m,
+///
+///   sigma~_m = min{ B_m(a_m), min_{m' < m} (y_{m'} + sigma~_{m'}) } - y_m
+///
+/// where B_m(a_m) is the upper confidence bound of the chosen arm at
+/// selection time. `empirical_bound()` exposes the latest sigma~.
+///
+/// Protocol per service round: `SelectArm()` then `RecordOutcome()`. Each
+/// arm (model) is played at most once — training the same model on the same
+/// data again yields no new information in ease.ml's setting.
+class UserState {
+ public:
+  /// `costs` must have one positive entry per arm of `policy`.
+  static Result<UserState> Create(
+      int user_id, std::unique_ptr<bandit::BanditPolicy> policy,
+      std::vector<double> costs);
+
+  int user_id() const { return user_id_; }
+  int num_models() const { return static_cast<int>(played_.size()); }
+
+  /// Number of completed (select, observe) rounds t_i.
+  int rounds_served() const { return rounds_served_; }
+
+  /// True when every arm has been played.
+  bool Exhausted() const { return num_played_ == num_models(); }
+
+  /// True while a selection is outstanding (SelectArm called, outcome not
+  /// yet recorded) — e.g. a training job in flight on some device.
+  bool has_pending() const { return pending_arm_ >= 0; }
+
+  /// True iff a scheduler may serve this user now: not exhausted and no
+  /// training run in flight. Single-device loops never observe a pending
+  /// user at scheduling time, so this reduces to !Exhausted() there.
+  bool Schedulable() const { return !Exhausted() && !has_pending(); }
+
+  /// Arms not yet played, ascending.
+  std::vector<int> AvailableArms() const;
+
+  bool has_observations() const { return rounds_served_ > 0; }
+
+  /// Best observed reward so far; 0 before any observation (a tenant with no
+  /// trained model serves nothing, per the paper's regret definition).
+  double best_reward() const { return best_reward_; }
+
+  double last_reward() const { return last_reward_; }
+
+  /// Latest empirical confidence bound sigma~ (Algorithm 2 line 6);
+  /// +infinity before the first observation.
+  double empirical_bound() const { return empirical_bound_; }
+
+  /// Sum of costs of played arms.
+  double consumed_cost() const { return consumed_cost_; }
+
+  /// Chooses the next model via the tenant's policy at local round
+  /// t = rounds_served() + 1. Fails if exhausted or if called twice without
+  /// an intervening RecordOutcome.
+  Result<int> SelectArm();
+
+  /// Records the observed reward for the arm returned by the last
+  /// SelectArm call, updating the policy belief and the sigma~ recurrence.
+  Status RecordOutcome(int arm, double reward);
+
+  /// Largest upper confidence bound over the remaining arms at the current
+  /// local round; -infinity when exhausted. Requires a GP-UCB policy.
+  double MaxUcb() const;
+
+  /// ease.ml's line-8 rule ingredient: gap between the largest UCB and the
+  /// best accuracy observed so far.
+  double UcbGap() const { return MaxUcb() - best_reward_; }
+
+  const bandit::BanditPolicy& policy() const { return *policy_; }
+
+  /// The GP-UCB view of the policy; nullptr for non-GP policies (heuristic
+  /// baselines). The GREEDY scheduler requires a non-null view.
+  const bandit::GpUcbPolicy* gp_policy() const { return gp_view_; }
+
+  double ArmCost(int arm) const { return costs_[arm]; }
+
+ private:
+  UserState(int user_id, std::unique_ptr<bandit::BanditPolicy> policy,
+            std::vector<double> costs);
+
+  int user_id_;
+  std::unique_ptr<bandit::BanditPolicy> policy_;
+  bandit::GpUcbPolicy* gp_view_ = nullptr;  // non-owning
+  std::vector<double> costs_;
+  std::vector<bool> played_;
+  int num_played_ = 0;
+  int rounds_served_ = 0;
+
+  int pending_arm_ = -1;       // arm selected, outcome not yet recorded
+  double pending_ucb_ = 0.0;   // B_t(a_t) captured at selection time
+
+  double best_reward_ = 0.0;
+  double last_reward_ = 0.0;
+  double empirical_bound_ = std::numeric_limits<double>::infinity();
+  // min_{m' <= m} (y_{m'} + sigma~_{m'}) from the recurrence.
+  double min_empirical_ucb_ = std::numeric_limits<double>::infinity();
+  double consumed_cost_ = 0.0;
+};
+
+}  // namespace easeml::scheduler
+
+#endif  // EASEML_SCHEDULER_USER_STATE_H_

@@ -1,0 +1,31 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+
+namespace easeml::sim {
+
+Result<Environment> Environment::Create(data::Dataset dataset,
+                                        double observation_noise,
+                                        uint64_t seed) {
+  EASEML_RETURN_NOT_OK(dataset.Validate());
+  if (observation_noise < 0.0) {
+    return Status::InvalidArgument("Environment: negative noise");
+  }
+  return Environment(std::move(dataset), observation_noise, seed);
+}
+
+double Environment::Reward(int user, int model) {
+  double q = dataset_.quality(user, model);
+  if (observation_noise_ > 0.0) {
+    q += rng_.Normal(0.0, observation_noise_);
+  }
+  return std::clamp(q, 0.0, 1.0);
+}
+
+std::vector<double> Environment::CostsForUser(int user) const {
+  std::vector<double> costs(num_models());
+  for (int j = 0; j < num_models(); ++j) costs[j] = dataset_.cost(user, j);
+  return costs;
+}
+
+}  // namespace easeml::sim

@@ -1,0 +1,63 @@
+#ifndef EASEML_SIM_ENVIRONMENT_H_
+#define EASEML_SIM_ENVIRONMENT_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace easeml::sim {
+
+/// The "ground truth" a simulation runs against: the (quality, cost) matrix
+/// of the tenants being served (Figure 7's canonical view).
+///
+/// SUBSTITUTION (see DESIGN.md): this stands in for the paper's GPU cluster.
+/// Training model j for user i consumes Cost(i, j) simulated time and
+/// reveals Reward(i, j). Optional observation noise models run-to-run
+/// training variance; the schedulers under study consume exactly the same
+/// interface either way.
+class Environment {
+ public:
+  /// Validates the dataset. `observation_noise` is the stddev of additive
+  /// Gaussian noise on revealed rewards (0 = deterministic).
+  static Result<Environment> Create(data::Dataset dataset,
+                                    double observation_noise = 0.0,
+                                    uint64_t seed = 0);
+
+  int num_users() const { return dataset_.num_users(); }
+  int num_models() const { return dataset_.num_models(); }
+
+  /// Reveals the training outcome for (user, model); clipped to [0, 1].
+  double Reward(int user, int model);
+
+  /// True expected quality (used by metrics, not by algorithms).
+  double TrueQuality(int user, int model) const {
+    return dataset_.quality(user, model);
+  }
+
+  double Cost(int user, int model) const { return dataset_.cost(user, model); }
+
+  /// Per-user cost vector (the c_ik of the cost-aware index).
+  std::vector<double> CostsForUser(int user) const;
+
+  double BestQuality(int user) const { return dataset_.BestQuality(user); }
+
+  double TotalCost() const { return dataset_.TotalCost(); }
+
+  const data::Dataset& dataset() const { return dataset_; }
+
+ private:
+  Environment(data::Dataset dataset, double observation_noise, uint64_t seed)
+      : dataset_(std::move(dataset)),
+        observation_noise_(observation_noise),
+        rng_(seed) {}
+
+  data::Dataset dataset_;
+  double observation_noise_;
+  Rng rng_;
+};
+
+}  // namespace easeml::sim
+
+#endif  // EASEML_SIM_ENVIRONMENT_H_

@@ -1,0 +1,69 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easeml::sim {
+
+Result<AggregatedCurves> Aggregate(const std::vector<LossCurve>& reps) {
+  if (reps.empty()) {
+    return Status::InvalidArgument("Aggregate: no repetitions");
+  }
+  const size_t g = reps[0].grid.size();
+  if (g == 0) return Status::InvalidArgument("Aggregate: empty grid");
+  for (const auto& rep : reps) {
+    if (rep.grid != reps[0].grid || rep.avg_loss.size() != g) {
+      return Status::InvalidArgument("Aggregate: grid mismatch across reps");
+    }
+  }
+  AggregatedCurves out;
+  out.grid = reps[0].grid;
+  out.mean.assign(g, 0.0);
+  out.worst.assign(g, 0.0);
+  for (size_t i = 0; i < g; ++i) {
+    double sum = 0.0;
+    double worst = 0.0;
+    for (const auto& rep : reps) {
+      sum += rep.avg_loss[i];
+      worst = std::max(worst, rep.avg_loss[i]);
+    }
+    out.mean[i] = sum / static_cast<double>(reps.size());
+    out.worst[i] = worst;
+  }
+  return out;
+}
+
+std::optional<double> FractionToReach(const std::vector<double>& grid,
+                                      const std::vector<double>& curve,
+                                      double target) {
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (curve[i] <= target) return grid[i];
+  }
+  return std::nullopt;
+}
+
+Result<double> SpeedupToReach(const AggregatedCurves& fast,
+                              const AggregatedCurves& slow, double target) {
+  const auto f = FractionToReach(fast.grid, fast.mean, target);
+  const auto s = FractionToReach(slow.grid, slow.mean, target);
+  if (!f.has_value() || !s.has_value()) {
+    return Status::FailedPrecondition(
+        "SpeedupToReach: target loss never reached");
+  }
+  if (*f <= 0.0) {
+    // Both reached the target instantly; report parity.
+    return *s <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return *s / *f;
+}
+
+double AreaUnderCurve(const std::vector<double>& grid,
+                      const std::vector<double>& curve) {
+  double area = 0.0;
+  for (size_t i = 1; i < grid.size(); ++i) {
+    area += 0.5 * (curve[i] + curve[i - 1]) * (grid[i] - grid[i - 1]);
+  }
+  return area;
+}
+
+}  // namespace easeml::sim

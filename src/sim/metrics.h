@@ -1,0 +1,51 @@
+#ifndef EASEML_SIM_METRICS_H_
+#define EASEML_SIM_METRICS_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace easeml::sim {
+
+/// One repetition's loss curve: `avg_loss[g]` is the mean accuracy loss over
+/// users when `grid[g]` (a fraction in [0, 1]) of the budget is consumed.
+struct LossCurve {
+  std::vector<double> grid;
+  std::vector<double> avg_loss;
+};
+
+/// Mean and worst-case curves over repetitions (the two columns the paper
+/// plots in Figures 9-11: "Average Accuracy Loss" and "Worse Accuracy
+/// Loss" across the 50 runs of each experiment).
+struct AggregatedCurves {
+  std::vector<double> grid;
+  std::vector<double> mean;
+  std::vector<double> worst;
+};
+
+/// Aggregates repetitions pointwise. Fails if curves are empty or have
+/// mismatched grids.
+Result<AggregatedCurves> Aggregate(const std::vector<LossCurve>& reps);
+
+/// First grid fraction at which `curve` drops to <= target; nullopt if the
+/// target is never reached.
+std::optional<double> FractionToReach(const std::vector<double>& grid,
+                                      const std::vector<double>& curve,
+                                      double target);
+
+/// Speedup of strategy `fast` over `slow` in reaching `target` loss:
+/// (fraction needed by slow) / (fraction needed by fast). This is the
+/// paper's headline metric ("up to 9.8x faster in achieving the same global
+/// quality"). Fails if either curve never reaches the target.
+Result<double> SpeedupToReach(const AggregatedCurves& fast,
+                              const AggregatedCurves& slow, double target);
+
+/// Trapezoidal area under the loss curve; lower is better. A scalar summary
+/// used by tests to compare strategies robustly.
+double AreaUnderCurve(const std::vector<double>& grid,
+                      const std::vector<double>& curve);
+
+}  // namespace easeml::sim
+
+#endif  // EASEML_SIM_METRICS_H_

@@ -1,0 +1,165 @@
+#include "sim/multi_device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace easeml::sim {
+
+namespace {
+
+/// A training job in flight.
+struct InFlightJob {
+  double finish_time;
+  int device;
+  int user;
+  int arm;
+
+  bool operator>(const InFlightJob& other) const {
+    return finish_time > other.finish_time;
+  }
+};
+
+double AverageLoss(const Environment& env,
+                   const std::vector<scheduler::UserState>& users) {
+  double acc = 0.0;
+  for (size_t i = 0; i < users.size(); ++i) {
+    acc += env.BestQuality(static_cast<int>(i)) - users[i].best_reward();
+  }
+  return acc / static_cast<double>(users.size());
+}
+
+}  // namespace
+
+Result<MultiDeviceResult> RunMultiDeviceSimulation(
+    Environment& env, std::vector<scheduler::UserState>& users,
+    scheduler::SchedulerPolicy& scheduler,
+    const MultiDeviceOptions& options) {
+  const int n = env.num_users();
+  if (static_cast<int>(users.size()) != n) {
+    return Status::InvalidArgument("MultiDevice: users/env size mismatch");
+  }
+  if (options.num_devices < 1) {
+    return Status::InvalidArgument("MultiDevice: need >= 1 device");
+  }
+  if (options.total_capacity <= 0.0) {
+    return Status::InvalidArgument("MultiDevice: capacity must be > 0");
+  }
+  if (options.budget_fraction <= 0.0 || options.budget_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "MultiDevice: budget_fraction must be in (0, 1]");
+  }
+  if (options.grid_points < 2) {
+    return Status::InvalidArgument("MultiDevice: grid_points < 2");
+  }
+
+  if (options.scaling_exponent <= 0.0 || options.scaling_exponent > 1.0) {
+    return Status::InvalidArgument(
+        "MultiDevice: scaling_exponent must be in (0, 1]");
+  }
+  const double units_per_device =
+      options.total_capacity / static_cast<double>(options.num_devices);
+  const double device_speed =
+      std::pow(units_per_device, options.scaling_exponent);
+
+  MultiDeviceResult result;
+  result.budget =
+      options.budget_fraction * env.TotalCost() / options.total_capacity;
+
+  const int g = options.grid_points;
+  result.curve.grid.resize(g);
+  for (int i = 0; i < g; ++i) {
+    result.curve.grid[i] = static_cast<double>(i) / (g - 1);
+  }
+  result.curve.avg_loss.assign(g, 0.0);
+  int next_grid = 0;
+  auto record_progress = [&](double now) {
+    const double frac = result.budget > 0.0 ? now / result.budget : 1.0;
+    const double loss = AverageLoss(env, users);
+    while (next_grid < g && result.curve.grid[next_grid] <= frac + 1e-12) {
+      result.curve.avg_loss[next_grid] = loss;
+      ++next_grid;
+    }
+  };
+  record_progress(0.0);
+
+  std::priority_queue<InFlightJob, std::vector<InFlightJob>,
+                      std::greater<InFlightJob>>
+      in_flight;
+  std::vector<int> free_devices;
+  for (int d = 0; d < options.num_devices; ++d) free_devices.push_back(d);
+
+  double now = 0.0;
+  int round = 1;
+  int sweep_cursor = options.initial_sweep ? 0 : n;
+
+  // Tries to start jobs on all free devices; returns the number launched.
+  auto launch_jobs = [&]() -> Result<int> {
+    int launched = 0;
+    while (!free_devices.empty()) {
+      // Pick a user: finish the initialization sweep first (serve every
+      // user exactly once), then delegate to the scheduler. The cursor
+      // advances past users that already got their first run or have one
+      // in flight — it must NOT re-serve a user whose job completed, or
+      // the sweep degenerates into FCFS.
+      int user = -1;
+      while (sweep_cursor < n && (users[sweep_cursor].has_observations() ||
+                                  users[sweep_cursor].has_pending() ||
+                                  users[sweep_cursor].Exhausted())) {
+        ++sweep_cursor;
+      }
+      if (sweep_cursor < n) {
+        user = sweep_cursor;
+      } else {
+        bool any = false;
+        for (const auto& u : users) {
+          if (u.Schedulable()) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) break;  // nothing schedulable right now
+        EASEML_ASSIGN_OR_RETURN(user, scheduler.PickUser(users, round));
+        ++round;
+      }
+      EASEML_ASSIGN_OR_RETURN(int arm, users[user].SelectArm());
+      const double duration = env.Cost(user, arm) / device_speed;
+      if (now + duration > result.budget + 1e-9) {
+        // Would overrun the wall-clock budget. The selection stays pending,
+        // which also removes the user from the schedulable set — the
+        // device idles for the rest of the campaign.
+        break;
+      }
+      const int device = free_devices.back();
+      free_devices.pop_back();
+      in_flight.push(InFlightJob{now + duration, device, user, arm});
+      result.busy_time += duration;
+      ++launched;
+    }
+    return launched;
+  };
+
+  EASEML_RETURN_NOT_OK(launch_jobs().status());
+  while (!in_flight.empty()) {
+    const InFlightJob job = in_flight.top();
+    in_flight.pop();
+    now = job.finish_time;
+    const double reward = env.Reward(job.user, job.arm);
+    EASEML_RETURN_NOT_OK(users[job.user].RecordOutcome(job.arm, reward));
+    scheduler.OnOutcome(users, job.user);
+    if (result.steps == 0) result.first_completion_time = now;
+    ++result.steps;
+    result.makespan = now;
+    record_progress(now);
+    free_devices.push_back(job.device);
+    EASEML_RETURN_NOT_OK(launch_jobs().status());
+  }
+
+  const double final_loss = AverageLoss(env, users);
+  for (; next_grid < g; ++next_grid) {
+    result.curve.avg_loss[next_grid] = final_loss;
+  }
+  return result;
+}
+
+}  // namespace easeml::sim

@@ -1,0 +1,138 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace easeml::sim {
+
+namespace {
+
+/// Current average accuracy loss over all users (Appendix A, Eq. 3).
+double AverageLoss(const Environment& env,
+                   const std::vector<scheduler::UserState>& users) {
+  double acc = 0.0;
+  for (size_t i = 0; i < users.size(); ++i) {
+    acc += env.BestQuality(static_cast<int>(i)) - users[i].best_reward();
+  }
+  return acc / static_cast<double>(users.size());
+}
+
+}  // namespace
+
+Result<SimulationResult> RunSimulation(
+    Environment& env, std::vector<scheduler::UserState>& users,
+    scheduler::SchedulerPolicy& scheduler, const SimulationOptions& options) {
+  const int n = env.num_users();
+  if (static_cast<int>(users.size()) != n) {
+    return Status::InvalidArgument("RunSimulation: users/env size mismatch");
+  }
+  for (int i = 0; i < n; ++i) {
+    if (users[i].num_models() != env.num_models()) {
+      return Status::InvalidArgument(
+          "RunSimulation: user arm count mismatch");
+    }
+  }
+  if (options.budget_fraction <= 0.0 || options.budget_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "RunSimulation: budget_fraction must be in (0, 1]");
+  }
+  if (options.grid_points < 2) {
+    return Status::InvalidArgument("RunSimulation: grid_points < 2");
+  }
+
+  SimulationResult result;
+  result.budget = options.cost_aware_budget
+                      ? options.budget_fraction * env.TotalCost()
+                      : options.budget_fraction *
+                            static_cast<double>(n) * env.num_models();
+
+  const int g = options.grid_points;
+  result.curve.grid.resize(g);
+  for (int i = 0; i < g; ++i) {
+    result.curve.grid[i] = static_cast<double>(i) / (g - 1);
+  }
+  result.curve.avg_loss.assign(g, 0.0);
+
+  int next_grid = 0;
+  auto record_progress = [&]() {
+    const double frac =
+        result.budget > 0.0 ? result.consumed / result.budget : 1.0;
+    const double loss = AverageLoss(env, users);
+    while (next_grid < g && result.curve.grid[next_grid] <= frac + 1e-12) {
+      result.curve.avg_loss[next_grid] = loss;
+      ++next_grid;
+    }
+  };
+  record_progress();  // grid point 0: no model trained yet
+
+  // One (select, train, observe) step for `user`. Returns false when the
+  // budget would be exceeded (the step is then not taken).
+  auto serve_user = [&](int user) -> Result<bool> {
+    EASEML_ASSIGN_OR_RETURN(int arm, users[user].SelectArm());
+    const double step_cost =
+        options.cost_aware_budget ? env.Cost(user, arm) : 1.0;
+    if (result.consumed + step_cost > result.budget + 1e-9) {
+      // Cannot afford this training run; leave the selection pending —
+      // the campaign is over.
+      return false;
+    }
+    const double reward = env.Reward(user, arm);
+    EASEML_RETURN_NOT_OK(users[user].RecordOutcome(arm, reward));
+    scheduler.OnOutcome(users, user);
+    result.consumed += step_cost;
+    ++result.steps;
+    // Regret accounting (Section 4.1): C_t is always the true cost of the
+    // trained model, independent of the budget mode.
+    const double c_t = env.Cost(user, arm);
+    double regret_last = 0.0, regret_best = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double best_possible = env.BestQuality(i);
+      regret_last += best_possible - (users[i].has_observations()
+                                          ? users[i].last_reward()
+                                          : 0.0);
+      regret_best += best_possible - users[i].best_reward();
+    }
+    result.cumulative_regret += c_t * regret_last;
+    result.easeml_regret += c_t * regret_best;
+    record_progress();
+    return true;
+  };
+
+  bool out_of_budget = false;
+  if (options.initial_sweep) {
+    for (int i = 0; i < n && !out_of_budget; ++i) {
+      if (users[i].Exhausted()) continue;
+      EASEML_ASSIGN_OR_RETURN(bool ok, serve_user(i));
+      out_of_budget = !ok;
+    }
+  }
+
+  int round = 1;
+  while (!out_of_budget) {
+    bool any_active = false;
+    for (const auto& u : users) {
+      if (!u.Exhausted()) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) break;
+    EASEML_ASSIGN_OR_RETURN(int user, scheduler.PickUser(users, round));
+    EASEML_ASSIGN_OR_RETURN(bool ok, serve_user(user));
+    out_of_budget = !ok;
+    ++round;
+  }
+
+  // Fill the tail of the curve with the final loss.
+  const double final_loss = AverageLoss(env, users);
+  for (; next_grid < g; ++next_grid) {
+    result.curve.avg_loss[next_grid] = final_loss;
+  }
+  result.final_per_user_loss.resize(n);
+  for (int i = 0; i < n; ++i) {
+    result.final_per_user_loss[i] =
+        env.BestQuality(i) - users[i].best_reward();
+  }
+  return result;
+}
+
+}  // namespace easeml::sim

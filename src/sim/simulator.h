@@ -1,0 +1,71 @@
+#ifndef EASEML_SIM_SIMULATOR_H_
+#define EASEML_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "scheduler/scheduler_policy.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+
+namespace easeml::sim {
+
+/// Budget and sampling configuration of one simulated campaign.
+struct SimulationOptions {
+  /// If true, the budget is `budget_fraction` of the total training cost of
+  /// all (user, model) pairs and the x-axis is "% of total cost"
+  /// (Figures 9, 11, 13, 14). Otherwise the budget is a fraction of the
+  /// total number of runs and the x-axis is "% of runs" (Figures 10, 15).
+  bool cost_aware_budget = false;
+
+  /// Fraction of the total (runs or cost) the campaign may consume.
+  double budget_fraction = 0.5;
+
+  /// Number of samples of the loss curve over [0, 1].
+  int grid_points = 101;
+
+  /// Serve every user once (in index order) before regular scheduling —
+  /// the initialization sweep of Algorithm 2 lines 1-4. Applied uniformly
+  /// to all schedulers for comparability; the sweep consumes budget.
+  bool initial_sweep = true;
+};
+
+/// Outcome of one simulated campaign.
+struct SimulationResult {
+  LossCurve curve;
+  int steps = 0;              // (user, model) trainings executed
+  double consumed = 0.0;      // runs or cost consumed
+  double budget = 0.0;        // runs or cost allowed
+  std::vector<double> final_per_user_loss;
+
+  /// Cumulative multi-tenant, cost-aware regret (Section 4.1):
+  ///   R_T = sum_t C_t * sum_i (mu*_i - X^i_t)
+  /// where C_t is the cost of the model trained at step t and X^i_t is the
+  /// reward of the model user i chose the last time it was served (0 if
+  /// never served).
+  double cumulative_regret = 0.0;
+
+  /// The ease.ml regret variant R'_T, which replaces X^i_t by the best
+  /// reward user i has seen so far (the model `infer` actually serves).
+  /// Always <= cumulative_regret.
+  double easeml_regret = 0.0;
+};
+
+/// Runs one multi-tenant model-selection campaign: repeatedly asks
+/// `scheduler` for a user, lets that user's policy pick a model, charges the
+/// cost, reveals the reward, and samples the average accuracy loss
+///   l_T = (1/n) sum_i (a*_i - best observed accuracy of user i)
+/// on a uniform budget grid (Appendix A, Equations 2-3).
+///
+/// `users` must have one UserState per environment user, aligned by index
+/// and with costs matching the environment. The campaign stops when the
+/// budget is exhausted or every user has trained every model.
+Result<SimulationResult> RunSimulation(Environment& env,
+                                       std::vector<scheduler::UserState>& users,
+                                       scheduler::SchedulerPolicy& scheduler,
+                                       const SimulationOptions& options);
+
+}  // namespace easeml::sim
+
+#endif  // EASEML_SIM_SIMULATOR_H_

@@ -1,0 +1,83 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace easeml {
+namespace {
+
+TEST(StatisticsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatisticsTest, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({4.0}), 0.0);
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatisticsTest, StdDevIsSqrtVariance) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(Variance(v)));
+}
+
+TEST(StatisticsTest, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.5, 0.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.5);
+}
+
+TEST(StatisticsTest, PercentileEndpointsAndMedian) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25);  // interpolated
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 73), 42.0);
+}
+
+TEST(RunningStatTest, MatchesBatchStatistics) {
+  Rng rng(3);
+  std::vector<double> v;
+  RunningStat rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    v.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-9);
+  EXPECT_NEAR(rs.variance(), Variance(v), 1e-9);
+  EXPECT_NEAR(rs.stddev(), StdDev(v), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), Min(v));
+  EXPECT_DOUBLE_EQ(rs.max(), Max(v));
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  // Welford should not lose precision for a large common offset.
+  RunningStat rs;
+  const double offset = 1e9;
+  for (int i = 0; i < 100; ++i) rs.Add(offset + i % 2);
+  EXPECT_NEAR(rs.variance(), 0.2525, 0.01);
+}
+
+}  // namespace
+}  // namespace easeml

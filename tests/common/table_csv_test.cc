@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace easeml {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatDoublePrecision) {
+  EXPECT_EQ(Table::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::FormatDouble(1.0, 4), "1.0000");
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "series", "value"});
+  EXPECT_TRUE(w.WriteRow({"0.5", "ease.ml", "0.01"}).ok());
+  EXPECT_EQ(os.str(), "x,series,value\n0.5,ease.ml,0.01\n");
+}
+
+TEST(CsvTest, RejectsWidthMismatch) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_FALSE(w.WriteRow({"1"}).ok());
+  EXPECT_FALSE(w.WriteRow({"1", "2", "3"}).ok());
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace easeml

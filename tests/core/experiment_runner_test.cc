@@ -1,0 +1,166 @@
+#include "core/experiment_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/deeplearning.h"
+#include "data/synthetic_generator.h"
+
+namespace easeml::core {
+namespace {
+
+data::Dataset SmallSyn() {
+  data::SimpleSynOptions opts;
+  opts.num_users = 24;
+  opts.num_models = 10;
+  opts.sigma_m = 0.5;
+  opts.alpha = 0.5;
+  opts.seed = 5;
+  auto ds = data::GenerateSimpleSyn(opts);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+ProtocolOptions FastOptions() {
+  ProtocolOptions opts;
+  opts.num_test_users = 5;
+  opts.num_reps = 4;
+  opts.budget_fraction = 0.5;
+  opts.tune_hyperparameters = false;  // keep unit tests fast
+  opts.grid_points = 21;
+  opts.seed = 9;
+  return opts;
+}
+
+TEST(StrategyNameTest, AllNamed) {
+  for (StrategyKind k :
+       {StrategyKind::kEaseMl, StrategyKind::kGreedy,
+        StrategyKind::kRoundRobin, StrategyKind::kRandom, StrategyKind::kFcfs,
+        StrategyKind::kMostCited, StrategyKind::kMostRecent}) {
+    EXPECT_FALSE(StrategyName(k).empty());
+    EXPECT_NE(StrategyName(k), "unknown");
+  }
+}
+
+TEST(RunProtocolTest, ValidatesOptions) {
+  const data::Dataset ds = SmallSyn();
+  ProtocolOptions opts = FastOptions();
+  opts.num_test_users = 0;
+  EXPECT_FALSE(RunProtocol(ds, StrategyKind::kEaseMl, opts).ok());
+  opts = FastOptions();
+  opts.num_test_users = ds.num_users();
+  EXPECT_FALSE(RunProtocol(ds, StrategyKind::kEaseMl, opts).ok());
+  opts = FastOptions();
+  opts.num_reps = 0;
+  EXPECT_FALSE(RunProtocol(ds, StrategyKind::kEaseMl, opts).ok());
+  opts = FastOptions();
+  opts.kernel_train_fraction = 0.0;
+  EXPECT_FALSE(RunProtocol(ds, StrategyKind::kEaseMl, opts).ok());
+}
+
+TEST(RunProtocolTest, HeuristicsNeedMetadata) {
+  // SYN datasets have no citation metadata.
+  const data::Dataset ds = SmallSyn();
+  EXPECT_FALSE(RunProtocol(ds, StrategyKind::kMostCited, FastOptions()).ok());
+  EXPECT_FALSE(
+      RunProtocol(ds, StrategyKind::kMostRecent, FastOptions()).ok());
+}
+
+TEST(RunProtocolTest, ProducesWellFormedCurves) {
+  auto result = RunProtocol(SmallSyn(), StrategyKind::kEaseMl, FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->curves.grid.size(), 21u);
+  EXPECT_EQ(result->curves.mean.size(), 21u);
+  EXPECT_EQ(result->curves.worst.size(), 21u);
+  for (size_t i = 0; i < 21; ++i) {
+    EXPECT_GE(result->curves.worst[i], result->curves.mean[i] - 1e-12);
+    if (i > 0) {
+      // Each repetition's curve is non-increasing, so aggregates are too.
+      EXPECT_LE(result->curves.mean[i], result->curves.mean[i - 1] + 1e-12);
+    }
+  }
+  EXPECT_GT(result->mean_auc, 0.0);
+  EXPECT_EQ(result->strategy_name, "ease.ml");
+}
+
+TEST(RunProtocolTest, DeterministicUnderSeed) {
+  auto a = RunProtocol(SmallSyn(), StrategyKind::kRoundRobin, FastOptions());
+  auto b = RunProtocol(SmallSyn(), StrategyKind::kRoundRobin, FastOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->curves.mean, b->curves.mean);
+  EXPECT_EQ(a->curves.worst, b->curves.worst);
+}
+
+TEST(RunProtocolTest, FullBudgetDrivesLossToZero) {
+  ProtocolOptions opts = FastOptions();
+  opts.budget_fraction = 1.0;
+  for (StrategyKind kind : {StrategyKind::kEaseMl, StrategyKind::kRoundRobin,
+                            StrategyKind::kRandom}) {
+    auto result = RunProtocol(SmallSyn(), kind, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->curves.mean.back(), 0.0, 1e-9)
+        << StrategyName(kind);
+    EXPECT_NEAR(result->curves.worst.back(), 0.0, 1e-9)
+        << StrategyName(kind);
+  }
+}
+
+TEST(RunProtocolTest, HeuristicsRunOnDeepLearning) {
+  auto ds = data::GenerateDeepLearning(data::DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  ProtocolOptions opts = FastOptions();
+  opts.num_test_users = 6;
+  for (StrategyKind kind :
+       {StrategyKind::kMostCited, StrategyKind::kMostRecent}) {
+    auto result = RunProtocol(*ds, kind, opts);
+    ASSERT_TRUE(result.ok()) << StrategyName(kind);
+    // Heuristics make progress too — loss decreases from the start.
+    EXPECT_LT(result->curves.mean.back(), result->curves.mean.front());
+  }
+}
+
+TEST(RunProtocolTest, KernelTrainFractionVariantsRun) {
+  ProtocolOptions opts = FastOptions();
+  for (double fraction : {0.1, 0.5, 1.0}) {
+    opts.kernel_train_fraction = fraction;
+    auto result = RunProtocol(SmallSyn(), StrategyKind::kEaseMl, opts);
+    ASSERT_TRUE(result.ok()) << "fraction=" << fraction;
+  }
+}
+
+TEST(RunProtocolTest, CostAwareBudgetAndPolicyCombinationsRun) {
+  ProtocolOptions opts = FastOptions();
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = false;  // the Figure-13 lesion arm
+  auto lesion = RunProtocol(SmallSyn(), StrategyKind::kEaseMl, opts);
+  ASSERT_TRUE(lesion.ok());
+  opts.cost_aware_policy = true;
+  auto full = RunProtocol(SmallSyn(), StrategyKind::kEaseMl, opts);
+  ASSERT_TRUE(full.ok());
+  // Both are valid campaigns; the cost-aware index changes behaviour.
+  EXPECT_NE(full->curves.mean, lesion->curves.mean);
+}
+
+TEST(RunStrategiesTest, OneResultPerStrategy) {
+  auto results = RunStrategies(
+      SmallSyn(),
+      {StrategyKind::kEaseMl, StrategyKind::kRoundRobin,
+       StrategyKind::kRandom},
+      FastOptions());
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[0].strategy_name, "ease.ml");
+  EXPECT_EQ((*results)[1].strategy_name, "round-robin");
+  EXPECT_EQ((*results)[2].strategy_name, "random");
+}
+
+TEST(RunProtocolTest, TuningPathRunsOnSmallData) {
+  ProtocolOptions opts = FastOptions();
+  opts.num_reps = 2;
+  opts.tune_hyperparameters = true;
+  auto result = RunProtocol(SmallSyn(), StrategyKind::kEaseMl, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace easeml::core

@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace easeml::data {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset ds;
+  ds.name = "toy";
+  ds.user_names = {"u0", "u1"};
+  ds.model_names = {"m0", "m1", "m2"};
+  ds.quality = *linalg::Matrix::FromRowMajor(2, 3,
+                                             {0.5, 0.9, 0.7,   //
+                                              0.6, 0.4, 0.8});
+  ds.cost = *linalg::Matrix::FromRowMajor(2, 3,
+                                          {1.0, 2.0, 3.0,   //
+                                           0.5, 0.5, 0.5});
+  return ds;
+}
+
+TEST(DatasetTest, ValidatesCleanDataset) {
+  EXPECT_TRUE(SmallDataset().Validate().ok());
+}
+
+TEST(DatasetTest, BestQualityAndModel) {
+  Dataset ds = SmallDataset();
+  EXPECT_DOUBLE_EQ(ds.BestQuality(0), 0.9);
+  EXPECT_EQ(ds.BestModel(0), 1);
+  EXPECT_DOUBLE_EQ(ds.BestQuality(1), 0.8);
+  EXPECT_EQ(ds.BestModel(1), 2);
+}
+
+TEST(DatasetTest, TotalCost) {
+  EXPECT_DOUBLE_EQ(SmallDataset().TotalCost(), 7.5);
+}
+
+TEST(DatasetTest, ValidateCatchesShapeMismatch) {
+  Dataset ds = SmallDataset();
+  ds.cost = linalg::Matrix(2, 2, 1.0);
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesNameMismatches) {
+  Dataset ds = SmallDataset();
+  ds.user_names.pop_back();
+  EXPECT_FALSE(ds.Validate().ok());
+
+  ds = SmallDataset();
+  ds.model_names.push_back("extra");
+  EXPECT_FALSE(ds.Validate().ok());
+
+  ds = SmallDataset();
+  ds.citations = {1, 2};  // 3 models
+  EXPECT_FALSE(ds.Validate().ok());
+
+  ds = SmallDataset();
+  ds.publication_year = {2012};
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesOutOfRangeValues) {
+  Dataset ds = SmallDataset();
+  ds.quality(0, 0) = 1.5;
+  EXPECT_FALSE(ds.Validate().ok());
+
+  ds = SmallDataset();
+  ds.quality(1, 2) = -0.1;
+  EXPECT_FALSE(ds.Validate().ok());
+
+  ds = SmallDataset();
+  ds.cost(0, 1) = 0.0;
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesEmpty) {
+  Dataset ds;
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, SelectUsersSubsets) {
+  Dataset ds = SmallDataset();
+  auto sub = ds.SelectUsers({1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_users(), 1);
+  EXPECT_EQ(sub->num_models(), 3);
+  EXPECT_EQ(sub->user_names[0], "u1");
+  EXPECT_DOUBLE_EQ(sub->quality(0, 2), 0.8);
+  EXPECT_DOUBLE_EQ(sub->cost(0, 0), 0.5);
+  EXPECT_TRUE(sub->Validate().ok());
+}
+
+TEST(DatasetTest, SelectUsersPreservesOrderAndDuplicates) {
+  Dataset ds = SmallDataset();
+  auto sub = ds.SelectUsers({1, 0, 1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_users(), 3);
+  EXPECT_EQ(sub->user_names[1], "u0");
+  EXPECT_DOUBLE_EQ(sub->quality(2, 1), 0.4);
+}
+
+TEST(DatasetTest, SelectUsersValidatesIndices) {
+  Dataset ds = SmallDataset();
+  EXPECT_FALSE(ds.SelectUsers({}).ok());
+  EXPECT_FALSE(ds.SelectUsers({2}).ok());
+  EXPECT_FALSE(ds.SelectUsers({-1}).ok());
+}
+
+TEST(DatasetTest, AssignUniformCostsInRange) {
+  Dataset ds = SmallDataset();
+  Rng rng(5);
+  AssignUniformCosts(ds, rng, 0.25, 0.75);
+  for (int i = 0; i < ds.num_users(); ++i) {
+    for (int j = 0; j < ds.num_models(); ++j) {
+      EXPECT_GE(ds.cost(i, j), 0.25);
+      EXPECT_LT(ds.cost(i, j), 0.75);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easeml::data

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/model_features.h"
+#include "data/splits.h"
+
+namespace easeml::data {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset ds;
+  ds.name = "tiny";
+  ds.user_names = {"a", "b", "c", "d"};
+  ds.model_names = {"m0", "m1"};
+  ds.quality = *linalg::Matrix::FromRowMajor(4, 2,
+                                             {0.1, 0.2,   //
+                                              0.3, 0.4,   //
+                                              0.5, 0.6,   //
+                                              0.7, 0.8});
+  ds.cost = linalg::Matrix(4, 2, 1.0);
+  return ds;
+}
+
+TEST(SplitUsersTest, PartitionIsCompleteAndDisjoint) {
+  Rng rng(5);
+  auto split = SplitUsers(10, 3, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test_users.size(), 3u);
+  EXPECT_EQ(split->train_users.size(), 7u);
+  std::set<int> all;
+  all.insert(split->test_users.begin(), split->test_users.end());
+  all.insert(split->train_users.begin(), split->train_users.end());
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(split->test_users.begin(),
+                             split->test_users.end()));
+  EXPECT_TRUE(std::is_sorted(split->train_users.begin(),
+                             split->train_users.end()));
+}
+
+TEST(SplitUsersTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(SplitUsers(10, 0, rng).ok());
+  EXPECT_FALSE(SplitUsers(10, 10, rng).ok());
+  EXPECT_FALSE(SplitUsers(10, 11, rng).ok());
+}
+
+TEST(SplitUsersTest, DifferentSeedsGiveDifferentSplits) {
+  Rng a(1), b(2);
+  auto sa = SplitUsers(50, 10, a);
+  auto sb = SplitUsers(50, 10, b);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_NE(sa->test_users, sb->test_users);
+}
+
+TEST(SubsampleIndicesTest, FullFractionReturnsAll) {
+  Rng rng(3);
+  const std::vector<int> items = {5, 7, 9};
+  auto out = SubsampleIndices(items, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, items);
+}
+
+TEST(SubsampleIndicesTest, HalfFractionRoundsUp) {
+  Rng rng(3);
+  const std::vector<int> items = {1, 2, 3, 4, 5};
+  auto out = SubsampleIndices(items, 0.5, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);  // ceil(2.5)
+  for (int v : *out) {
+    EXPECT_NE(std::find(items.begin(), items.end(), v), items.end());
+  }
+}
+
+TEST(SubsampleIndicesTest, AtLeastOneItemKept) {
+  Rng rng(3);
+  auto out = SubsampleIndices({42, 43, 44}, 0.01, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST(SubsampleIndicesTest, ValidatesFraction) {
+  Rng rng(3);
+  EXPECT_FALSE(SubsampleIndices({1}, 0.0, rng).ok());
+  EXPECT_FALSE(SubsampleIndices({1}, 1.5, rng).ok());
+}
+
+TEST(ModelFeaturesTest, ColumnsOverTrainUsers) {
+  Dataset ds = TinyDataset();
+  auto features = ComputeModelFeatures(ds, {0, 2});
+  ASSERT_TRUE(features.ok());
+  ASSERT_EQ(features->size(), 2u);          // one per model
+  EXPECT_EQ((*features)[0], (std::vector<double>{0.1, 0.5}));
+  EXPECT_EQ((*features)[1], (std::vector<double>{0.2, 0.6}));
+}
+
+TEST(ModelFeaturesTest, RealizationsAreUserRows) {
+  Dataset ds = TinyDataset();
+  auto r = ComputeRealizations(ds, {1, 3});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0], (std::vector<double>{0.3, 0.4}));
+  EXPECT_EQ((*r)[1], (std::vector<double>{0.7, 0.8}));
+}
+
+TEST(ModelFeaturesTest, PriorMeanAveragesTrainUsers) {
+  Dataset ds = TinyDataset();
+  auto mean = ComputePriorMean(ds, {0, 1});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ((*mean)[0], 0.2);
+  EXPECT_DOUBLE_EQ((*mean)[1], 0.3);
+}
+
+TEST(ModelFeaturesTest, ValidatesTrainUsers) {
+  Dataset ds = TinyDataset();
+  EXPECT_FALSE(ComputeModelFeatures(ds, {}).ok());
+  EXPECT_FALSE(ComputeModelFeatures(ds, {4}).ok());
+  EXPECT_FALSE(ComputeRealizations(ds, {-1}).ok());
+  EXPECT_FALSE(ComputePriorMean(ds, {9}).ok());
+}
+
+}  // namespace
+}  // namespace easeml::data

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "data/classifier179.h"
+#include "data/deeplearning.h"
+
+namespace easeml::data {
+namespace {
+
+TEST(DeepLearningTest, MatchesPaperShape) {
+  auto ds = GenerateDeepLearning(DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 22);  // Figure 8: 22 users x 8 models
+  EXPECT_EQ(ds->num_models(), 8);
+  EXPECT_TRUE(ds->Validate().ok());
+  EXPECT_EQ(ds->name, "DEEPLEARNING");
+}
+
+TEST(DeepLearningTest, CarriesAllEightArchitectures) {
+  auto ds = GenerateDeepLearning(DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  const std::vector<std::string> expected = {
+      "NIN",     "GoogLeNet", "ResNet-50", "AlexNet",
+      "BN-AlexNet", "ResNet-18", "VGG-16",    "SqueezeNet"};
+  for (const auto& name : expected) {
+    EXPECT_NE(std::find(ds->model_names.begin(), ds->model_names.end(), name),
+              ds->model_names.end())
+        << name;
+  }
+  EXPECT_EQ(ds->citations.size(), 8u);
+  EXPECT_EQ(ds->publication_year.size(), 8u);
+}
+
+TEST(DeepLearningTest, MetadataOrderingsAreSensible) {
+  const auto& archs = DeepLearningArchitectures();
+  auto find = [&](const std::string& name) {
+    for (const auto& a : archs) {
+      if (a.name == name) return a;
+    }
+    ADD_FAILURE() << "missing " << name;
+    return archs[0];
+  };
+  // AlexNet is the most cited; SqueezeNet the most recent.
+  for (const auto& a : archs) {
+    EXPECT_LE(a.citations_2017, find("AlexNet").citations_2017);
+    EXPECT_LE(a.publication_year, find("SqueezeNet").publication_year);
+  }
+  // ResNet-50 is the slowest-but-best family member vs SqueezeNet.
+  EXPECT_GT(find("ResNet-50").relative_cost, find("SqueezeNet").relative_cost);
+  EXPECT_GT(find("ResNet-50").quality_offset,
+            find("SqueezeNet").quality_offset);
+}
+
+TEST(DeepLearningTest, CostsAreHeterogeneous) {
+  auto ds = GenerateDeepLearning(DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  // Heterogeneous costs are what make the cost-aware scheduler matter
+  // (Section 5.3.2); require at least 5x spread on every user.
+  for (int i = 0; i < ds->num_users(); ++i) {
+    double lo = ds->cost(i, 0), hi = ds->cost(i, 0);
+    for (int j = 1; j < ds->num_models(); ++j) {
+      lo = std::min(lo, ds->cost(i, j));
+      hi = std::max(hi, ds->cost(i, j));
+    }
+    EXPECT_GT(hi / lo, 5.0) << "user " << i;
+  }
+}
+
+TEST(DeepLearningTest, ResNetBeatsAlexNetOnAverage) {
+  auto ds = GenerateDeepLearning(DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  int resnet = -1, alexnet = -1;
+  for (int j = 0; j < ds->num_models(); ++j) {
+    if (ds->model_names[j] == "ResNet-50") resnet = j;
+    if (ds->model_names[j] == "AlexNet") alexnet = j;
+  }
+  ASSERT_GE(resnet, 0);
+  ASSERT_GE(alexnet, 0);
+  EXPECT_GT(Mean(ds->quality.Col(resnet)), Mean(ds->quality.Col(alexnet)));
+}
+
+TEST(DeepLearningTest, DeterministicAndSeedSensitive) {
+  DeepLearningOptions opts;
+  auto a = GenerateDeepLearning(opts);
+  auto b = GenerateDeepLearning(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->quality.MaxAbsDiff(b->quality), 1e-15);
+  opts.seed = 1234;
+  auto c = GenerateDeepLearning(opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(a->quality.MaxAbsDiff(c->quality), 0.0);
+}
+
+TEST(DeepLearningTest, RejectsBadOptions) {
+  DeepLearningOptions opts;
+  opts.num_users = 0;
+  EXPECT_FALSE(GenerateDeepLearning(opts).ok());
+}
+
+TEST(Classifier179Test, MatchesPaperShape) {
+  auto ds = GenerateClassifier179(Classifier179Options());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 121);  // Figure 8: 121 users x 179 models
+  EXPECT_EQ(ds->num_models(), 179);
+  EXPECT_TRUE(ds->Validate().ok());
+}
+
+TEST(Classifier179Test, FamilyCountsSumTo179) {
+  int total = 0;
+  for (const auto& f : Classifier179Families()) total += f.count;
+  EXPECT_EQ(total, 179);
+}
+
+TEST(Classifier179Test, RandomForestFamilyNearTheTop) {
+  auto ds = GenerateClassifier179(Classifier179Options());
+  ASSERT_TRUE(ds.ok());
+  // Average quality of rf_* models must exceed the bayes_* family —
+  // the headline finding of Delgado et al. this surrogate mirrors.
+  double rf = 0.0, bayes = 0.0;
+  int rf_n = 0, bayes_n = 0;
+  for (int j = 0; j < ds->num_models(); ++j) {
+    const bool is_rf = ds->model_names[j].rfind("rf_", 0) == 0;
+    const bool is_bayes = ds->model_names[j].rfind("bayes_", 0) == 0;
+    const double m = Mean(ds->quality.Col(j));
+    if (is_rf) {
+      rf += m;
+      ++rf_n;
+    } else if (is_bayes) {
+      bayes += m;
+      ++bayes_n;
+    }
+  }
+  ASSERT_GT(rf_n, 0);
+  ASSERT_GT(bayes_n, 0);
+  EXPECT_GT(rf / rf_n, bayes / bayes_n + 0.05);
+}
+
+TEST(Classifier179Test, CostsAreSyntheticUniform) {
+  auto ds = GenerateClassifier179(Classifier179Options());
+  ASSERT_TRUE(ds.ok());
+  for (int i = 0; i < ds->num_users(); ++i) {
+    for (int j = 0; j < ds->num_models(); ++j) {
+      EXPECT_GT(ds->cost(i, j), 0.0);
+      EXPECT_LE(ds->cost(i, j), 1.0);
+    }
+  }
+}
+
+TEST(Classifier179Test, Deterministic) {
+  auto a = GenerateClassifier179(Classifier179Options());
+  auto b = GenerateClassifier179(Classifier179Options());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->quality.MaxAbsDiff(b->quality), 1e-15);
+}
+
+}  // namespace
+}  // namespace easeml::data

@@ -1,0 +1,160 @@
+#include "data/synthetic_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace easeml::data {
+namespace {
+
+TEST(HiddenFeatureCovarianceTest, UnitDiagonalAndSymmetry) {
+  linalg::Matrix cov = HiddenFeatureCovariance({0.1, 0.5, 0.9}, 0.5);
+  EXPECT_TRUE(cov.IsSymmetric());
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(cov(i, i), 1.0);
+  // Closer hidden features -> larger covariance.
+  EXPECT_GT(cov(0, 1), cov(0, 2));
+}
+
+TEST(HiddenFeatureCovarianceTest, SigmaControlsCorrelationStrength) {
+  const std::vector<double> f = {0.2, 0.8};
+  const double weak = HiddenFeatureCovariance(f, 0.01)(0, 1);
+  const double strong = HiddenFeatureCovariance(f, 2.0)(0, 1);
+  EXPECT_LT(weak, 1e-6);
+  EXPECT_GT(strong, 0.9);
+}
+
+TEST(SimpleSynTest, GeneratesValidDatasetWithRequestedShape) {
+  SimpleSynOptions opts;
+  opts.num_users = 30;
+  opts.num_models = 20;
+  auto ds = GenerateSimpleSyn(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 30);
+  EXPECT_EQ(ds->num_models(), 20);
+  EXPECT_TRUE(ds->Validate().ok());
+  EXPECT_EQ(ds->name, "SYN(0.01,0.1)");
+}
+
+TEST(SimpleSynTest, DeterministicUnderSeed) {
+  SimpleSynOptions opts;
+  opts.num_users = 10;
+  opts.num_models = 8;
+  auto a = GenerateSimpleSyn(opts);
+  auto b = GenerateSimpleSyn(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->quality.MaxAbsDiff(b->quality), 1e-15);
+  EXPECT_LT(a->cost.MaxAbsDiff(b->cost), 1e-15);
+  opts.seed = 99;
+  auto c = GenerateSimpleSyn(opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(a->quality.MaxAbsDiff(c->quality), 0.0);
+}
+
+TEST(SimpleSynTest, RejectsBadOptions) {
+  SimpleSynOptions opts;
+  opts.num_users = 0;
+  EXPECT_FALSE(GenerateSimpleSyn(opts).ok());
+  opts = SimpleSynOptions();
+  opts.sigma_m = 0.0;
+  EXPECT_FALSE(GenerateSimpleSyn(opts).ok());
+}
+
+TEST(SimpleSynTest, AlphaZeroRemovesModelVariation) {
+  SimpleSynOptions opts;
+  opts.num_users = 5;
+  opts.num_models = 10;
+  opts.alpha = 0.0;
+  auto ds = GenerateSimpleSyn(opts);
+  ASSERT_TRUE(ds.ok());
+  // With alpha = 0, each user's row is constant (x = b_i).
+  for (int i = 0; i < ds->num_users(); ++i) {
+    for (int j = 1; j < ds->num_models(); ++j) {
+      EXPECT_DOUBLE_EQ(ds->quality(i, j), ds->quality(i, 0));
+    }
+  }
+}
+
+/// Stronger model correlation (larger sigma_M) must yield smoother quality
+/// across models with nearby hidden features — measured via the average
+/// within-user variance relative to the lag-correlation structure.
+TEST(SimpleSynTest, LargerSigmaMYieldsStrongerNeighborCorrelation) {
+  auto correlation_proxy = [](double sigma_m) {
+    SimpleSynOptions opts;
+    opts.num_users = 60;
+    opts.num_models = 40;
+    opts.sigma_m = sigma_m;
+    opts.alpha = 1.0;
+    opts.sigma_b = 1e-6;  // isolate the model term
+    opts.seed = 123;
+    auto ds = GenerateSimpleSyn(opts);
+    EXPECT_TRUE(ds.ok());
+    // Average covariance between distinct models across users.
+    double acc = 0.0;
+    int count = 0;
+    for (int j = 0; j < 10; ++j) {
+      for (int j2 = j + 1; j2 < 10; ++j2) {
+        std::vector<double> a = ds->quality.Col(j);
+        std::vector<double> b = ds->quality.Col(j2);
+        const double ma = Mean(a), mb = Mean(b);
+        double cov = 0.0;
+        for (size_t i = 0; i < a.size(); ++i) {
+          cov += (a[i] - ma) * (b[i] - mb);
+        }
+        acc += cov / static_cast<double>(a.size());
+        ++count;
+      }
+    }
+    return acc / count;
+  };
+  EXPECT_GT(correlation_proxy(2.0), correlation_proxy(0.01) + 0.001);
+}
+
+TEST(AppendixBTest, DefaultInstantiationShape) {
+  AppendixBOptions opts;
+  opts.users_per_combination = 10;  // keep the test fast
+  opts.num_models = 25;
+  auto ds = GenerateAppendixB(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users(), 20);  // 2 baseline groups x 10
+  EXPECT_EQ(ds->num_models(), 25);
+  EXPECT_TRUE(ds->Validate().ok());
+}
+
+TEST(AppendixBTest, BaselineGroupsSeparateDifficulties) {
+  AppendixBOptions opts;
+  opts.baseline_groups = {{0.9, 0.01}, {0.1, 0.01}};
+  opts.sigma_w = 0.001;
+  opts.users_per_combination = 20;
+  opts.num_models = 10;
+  // Tiny fluctuations so group structure dominates.
+  opts.sigma_m = 0.01;
+  opts.sigma_u = 0.01;
+  opts.model_amplitude = 0.02;
+  opts.user_amplitude = 0.02;
+  auto ds = GenerateAppendixB(opts);
+  ASSERT_TRUE(ds.ok());
+  // First 20 users belong to the easy group, next 20 to the hard group.
+  double easy = 0.0, hard = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      easy += ds->quality(i, j);
+      hard += ds->quality(20 + i, j);
+    }
+  }
+  EXPECT_GT(easy / 200.0, hard / 200.0 + 0.3);
+}
+
+TEST(AppendixBTest, RejectsBadOptions) {
+  AppendixBOptions opts;
+  opts.baseline_groups.clear();
+  EXPECT_FALSE(GenerateAppendixB(opts).ok());
+  opts = AppendixBOptions();
+  opts.users_per_combination = 0;
+  EXPECT_FALSE(GenerateAppendixB(opts).ok());
+}
+
+}  // namespace
+}  // namespace easeml::data

@@ -1,0 +1,190 @@
+#include "gp/gaussian_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/kernel.h"
+#include "linalg/matrix.h"
+
+namespace easeml::gp {
+namespace {
+
+linalg::Matrix SimpleCov() {
+  // Two moderately correlated arms plus one independent arm.
+  return *linalg::Matrix::FromRowMajor(3, 3,
+                                       {1.0, 0.8, 0.0,   //
+                                        0.8, 1.0, 0.0,   //
+                                        0.0, 0.0, 1.0});
+}
+
+TEST(DiscreteArmGpTest, CreateValidation) {
+  EXPECT_FALSE(DiscreteArmGp::Create(linalg::Matrix(2, 3), 0.1).ok());
+  EXPECT_FALSE(DiscreteArmGp::Create(SimpleCov(), 0.0).ok());
+  EXPECT_FALSE(DiscreteArmGp::Create(SimpleCov(), -1.0).ok());
+  auto bad_mean = DiscreteArmGp::Create(SimpleCov(), 0.1, {1.0});
+  EXPECT_FALSE(bad_mean.ok());
+  auto asym =
+      linalg::Matrix::FromRowMajor(2, 2, {1.0, 0.5, 0.2, 1.0});
+  EXPECT_FALSE(DiscreteArmGp::Create(*asym, 0.1).ok());
+  EXPECT_TRUE(DiscreteArmGp::Create(SimpleCov(), 0.1).ok());
+}
+
+TEST(DiscreteArmGpTest, PriorMarginals) {
+  auto gp = DiscreteArmGp::Create(SimpleCov(), 0.1, {0.5, 0.6, 0.7});
+  ASSERT_TRUE(gp.ok());
+  EXPECT_DOUBLE_EQ(gp->Mean(0), 0.5);
+  EXPECT_DOUBLE_EQ(gp->Mean(2), 0.7);
+  EXPECT_DOUBLE_EQ(gp->Variance(1), 1.0);
+  EXPECT_EQ(gp->num_observations(), 0);
+}
+
+TEST(DiscreteArmGpTest, ObserveShrinksVarianceOfObservedArm) {
+  auto gp = DiscreteArmGp::Create(SimpleCov(), 0.01);
+  ASSERT_TRUE(gp.ok());
+  ASSERT_TRUE(gp->Observe(0, 0.9).ok());
+  // Posterior variance of arm 0: 1 - 1/(1.01) ~ 0.0099.
+  EXPECT_NEAR(gp->Variance(0), 1.0 - 1.0 / 1.01, 1e-12);
+  // Correlated arm 1 also shrinks; independent arm 2 does not.
+  EXPECT_LT(gp->Variance(1), 1.0);
+  EXPECT_NEAR(gp->Variance(2), 1.0, 1e-12);
+}
+
+TEST(DiscreteArmGpTest, ObservationPullsCorrelatedMeans) {
+  auto gp = DiscreteArmGp::Create(SimpleCov(), 0.01);
+  ASSERT_TRUE(gp.ok());
+  ASSERT_TRUE(gp->Observe(0, 1.0).ok());
+  EXPECT_GT(gp->Mean(0), 0.9);
+  EXPECT_GT(gp->Mean(1), 0.5);               // pulled up via correlation
+  EXPECT_NEAR(gp->Mean(2), 0.0, 1e-12);      // independent arm unaffected
+}
+
+TEST(DiscreteArmGpTest, ObserveRejectsBadArm) {
+  auto gp = DiscreteArmGp::Create(SimpleCov(), 0.1);
+  ASSERT_TRUE(gp.ok());
+  EXPECT_FALSE(gp->Observe(-1, 0.5).ok());
+  EXPECT_FALSE(gp->Observe(3, 0.5).ok());
+}
+
+TEST(DiscreteArmGpTest, ResetRestoresPrior) {
+  auto gp = DiscreteArmGp::Create(SimpleCov(), 0.1, {0.2, 0.2, 0.2});
+  ASSERT_TRUE(gp.ok());
+  ASSERT_TRUE(gp->Observe(1, 0.95).ok());
+  EXPECT_NE(gp->Mean(1), 0.2);
+  gp->Reset();
+  EXPECT_DOUBLE_EQ(gp->Mean(1), 0.2);
+  EXPECT_DOUBLE_EQ(gp->Variance(1), 1.0);
+  EXPECT_EQ(gp->num_observations(), 0);
+}
+
+TEST(BatchPosteriorTest, NoObservationsReturnsPrior) {
+  auto post = DiscreteArmGp::BatchPosterior(SimpleCov(), 0.1, {}, {});
+  ASSERT_TRUE(post.ok());
+  EXPECT_DOUBLE_EQ(post->mean[0], 0.0);
+  EXPECT_DOUBLE_EQ(post->variance[2], 1.0);
+}
+
+TEST(BatchPosteriorTest, RejectsMismatchedInputs) {
+  EXPECT_FALSE(
+      DiscreteArmGp::BatchPosterior(SimpleCov(), 0.1, {0}, {}).ok());
+  EXPECT_FALSE(
+      DiscreteArmGp::BatchPosterior(SimpleCov(), 0.1, {5}, {0.1}).ok());
+}
+
+/// The central property: the O(K^2) incremental update is algebraically
+/// identical to the Algorithm-1 batch posterior, for random covariances and
+/// observation sequences.
+class IncrementalVsBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalVsBatchTest, SequentialConditioningMatchesBatch) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int k = 8;
+  // Random PSD covariance via an RBF kernel on random features.
+  std::vector<std::vector<double>> features(k, std::vector<double>(3));
+  for (auto& f : features) {
+    for (double& v : f) v = rng.Uniform();
+  }
+  RbfKernel kernel(0.6, 1.0);
+  auto gram = kernel.BuildGram(features);
+  ASSERT_TRUE(gram.ok());
+  gram->AddToDiagonal(1e-8);
+  const double noise = 0.05;
+
+  auto gp = DiscreteArmGp::Create(*gram, noise);
+  ASSERT_TRUE(gp.ok());
+  std::vector<int> arms;
+  std::vector<double> ys;
+  const int t_max = 12;  // includes repeated observations of the same arm
+  for (int t = 0; t < t_max; ++t) {
+    const int arm = rng.UniformInt(0, k - 1);
+    const double y = rng.Uniform();
+    ASSERT_TRUE(gp->Observe(arm, y).ok());
+    arms.push_back(arm);
+    ys.push_back(y);
+
+    auto batch = DiscreteArmGp::BatchPosterior(*gram, noise, arms, ys);
+    ASSERT_TRUE(batch.ok());
+    for (int a = 0; a < k; ++a) {
+      EXPECT_NEAR(gp->Mean(a), batch->mean[a], 1e-8)
+          << "seed=" << seed << " t=" << t << " arm=" << a;
+      EXPECT_NEAR(gp->Variance(a), batch->variance[a], 1e-8)
+          << "seed=" << seed << " t=" << t << " arm=" << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalVsBatchTest,
+                         ::testing::Range(1, 11));
+
+TEST(DiscreteArmGpTest, VarianceMonotonicallyNonIncreasing) {
+  Rng rng(77);
+  auto gp = DiscreteArmGp::Create(SimpleCov(), 0.1);
+  ASSERT_TRUE(gp.ok());
+  std::vector<double> prev = {gp->Variance(0), gp->Variance(1),
+                              gp->Variance(2)};
+  for (int t = 0; t < 20; ++t) {
+    ASSERT_TRUE(gp->Observe(rng.UniformInt(0, 2), rng.Uniform()).ok());
+    for (int a = 0; a < 3; ++a) {
+      const double v = gp->Variance(a);
+      EXPECT_LE(v, prev[a] + 1e-12);
+      EXPECT_GE(v, 0.0);
+      prev[a] = v;
+    }
+  }
+}
+
+TEST(LogMarginalLikelihoodTest, HigherForConsistentObservations) {
+  // Strongly correlated prior: consistent observations on correlated arms
+  // should be more likely than contradictory ones.
+  auto cov = *linalg::Matrix::FromRowMajor(2, 2, {1.0, 0.95, 0.95, 1.0});
+  auto consistent =
+      DiscreteArmGp::LogMarginalLikelihood(cov, 0.05, {0, 1}, {0.5, 0.5});
+  auto contradictory =
+      DiscreteArmGp::LogMarginalLikelihood(cov, 0.05, {0, 1}, {0.9, -0.9});
+  ASSERT_TRUE(consistent.ok());
+  ASSERT_TRUE(contradictory.ok());
+  EXPECT_GT(*consistent, *contradictory);
+}
+
+TEST(LogMarginalLikelihoodTest, EmptyObservationsGiveZero) {
+  auto lml = DiscreteArmGp::LogMarginalLikelihood(SimpleCov(), 0.1, {}, {});
+  ASSERT_TRUE(lml.ok());
+  EXPECT_DOUBLE_EQ(*lml, 0.0);
+}
+
+TEST(LogMarginalLikelihoodTest, MatchesHandComputedUnivariate) {
+  // Single arm, prior var 1, noise 0.25, y = 0.5:
+  // lml = -0.5*y^2/(1.25) - 0.5*log(1.25) - 0.5*log(2*pi).
+  auto cov = *linalg::Matrix::FromRowMajor(1, 1, {1.0});
+  auto lml = DiscreteArmGp::LogMarginalLikelihood(cov, 0.25, {0}, {0.5});
+  ASSERT_TRUE(lml.ok());
+  const double expected = -0.5 * 0.25 / 1.25 - 0.5 * std::log(1.25) -
+                          0.5 * std::log(2.0 * M_PI);
+  EXPECT_NEAR(*lml, expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace easeml::gp

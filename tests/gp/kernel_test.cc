@@ -1,0 +1,104 @@
+#include "gp/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+
+namespace easeml::gp {
+namespace {
+
+TEST(LinearKernelTest, EvaluatesDotPlusBias) {
+  LinearKernel k(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(k.Evaluate({1, 2}, {3, 4}), 2.0 * 11 + 0.5);
+  EXPECT_NE(k.ToString().find("linear"), std::string::npos);
+}
+
+TEST(RbfKernelTest, UnitAtZeroDistance) {
+  RbfKernel k(0.7, 2.5);
+  EXPECT_DOUBLE_EQ(k.Evaluate({1, 2, 3}, {1, 2, 3}), 2.5);
+}
+
+TEST(RbfKernelTest, KnownValue) {
+  RbfKernel k(1.0, 1.0);
+  // ||a-b||^2 = 4 -> exp(-2).
+  EXPECT_NEAR(k.Evaluate({0, 0}, {2, 0}), std::exp(-2.0), 1e-15);
+}
+
+TEST(RbfKernelTest, DecreasesWithDistance) {
+  RbfKernel k(0.5, 1.0);
+  double prev = k.Evaluate({0.0}, {0.0});
+  for (double d = 0.1; d < 2.0; d += 0.1) {
+    const double v = k.Evaluate({0.0}, {d});
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Matern52KernelTest, UnitAtZeroDistanceAndMonotone) {
+  Matern52Kernel k(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(k.Evaluate({0.0}, {0.0}), 3.0);
+  double prev = 3.0;
+  for (double d = 0.25; d < 3.0; d += 0.25) {
+    const double v = k.Evaluate({0.0}, {d});
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Matern52KernelTest, KnownFormula) {
+  Matern52Kernel k(2.0, 1.0);
+  const double r = 1.5;
+  const double z = std::sqrt(5.0) * r / 2.0;
+  const double expected = (1.0 + z + z * z / 3.0) * std::exp(-z);
+  EXPECT_NEAR(k.Evaluate({0.0}, {r}), expected, 1e-15);
+}
+
+TEST(BuildGramTest, SymmetricWithSignalVarianceDiagonal) {
+  RbfKernel k(0.5, 1.7);
+  std::vector<std::vector<double>> features = {{0, 0}, {1, 0}, {0.3, 0.4}};
+  auto gram = k.BuildGram(features);
+  ASSERT_TRUE(gram.ok());
+  EXPECT_TRUE(gram->IsSymmetric());
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ((*gram)(i, i), 1.7);
+}
+
+TEST(BuildGramTest, RejectsEmptyAndRagged) {
+  RbfKernel k(1.0);
+  EXPECT_FALSE(k.BuildGram({}).ok());
+  EXPECT_FALSE(k.BuildGram({{1.0, 2.0}, {1.0}}).ok());
+}
+
+/// Property: Gram matrices of all three kernels are positive semi-definite
+/// on random features (checked via Cholesky with small jitter).
+class KernelPsdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelPsdTest, GramIsPositiveSemiDefinite) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int n = 12, dim = 5;
+  std::vector<std::vector<double>> features(n, std::vector<double>(dim));
+  for (auto& f : features) {
+    for (double& v : f) v = rng.Uniform();
+  }
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  kernels.push_back(std::make_unique<LinearKernel>(1.0, 0.1));
+  kernels.push_back(std::make_unique<RbfKernel>(0.5, 1.0));
+  kernels.push_back(std::make_unique<Matern52Kernel>(0.5, 1.0));
+  for (const auto& k : kernels) {
+    auto gram = k->BuildGram(features);
+    ASSERT_TRUE(gram.ok());
+    EXPECT_TRUE(linalg::Cholesky::Compute(*gram, 1e-8).ok())
+        << k->ToString() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPsdTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace easeml::gp

@@ -1,0 +1,161 @@
+/// End-to-end "shape" tests: the qualitative findings of the paper's
+/// evaluation section must hold on the surrogate workloads. These are the
+/// claims the benchmark harness quantifies; here we assert their direction
+/// with enough repetitions to be robust.
+#include <gtest/gtest.h>
+
+#include "core/experiment_runner.h"
+#include "data/deeplearning.h"
+#include "data/synthetic_generator.h"
+#include "sim/metrics.h"
+
+namespace easeml::core {
+namespace {
+
+data::Dataset Syn(double sigma_m, double alpha, uint64_t seed = 5) {
+  data::SimpleSynOptions opts;
+  opts.num_users = 40;
+  opts.num_models = 16;
+  opts.sigma_m = sigma_m;
+  opts.alpha = alpha;
+  opts.seed = seed;
+  auto ds = data::GenerateSimpleSyn(opts);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+ProtocolOptions BaseOptions(int reps = 10) {
+  ProtocolOptions opts;
+  opts.num_test_users = 8;
+  opts.num_reps = reps;
+  opts.budget_fraction = 0.5;
+  opts.tune_hyperparameters = false;
+  opts.grid_points = 41;
+  opts.seed = 17;
+  return opts;
+}
+
+double Auc(const StrategyResult& r) {
+  return sim::AreaUnderCurve(r.curves.grid, r.curves.mean);
+}
+
+TEST(IntegrationTest, FcfsIsPathologicallyBad) {
+  // Section 4.1: FCFS incurs regret of order T. With half the budget it
+  // leaves a fraction of the users entirely unserved.
+  const data::Dataset ds = Syn(0.5, 0.5);
+  auto fcfs = RunProtocol(ds, StrategyKind::kFcfs, BaseOptions());
+  auto rr = RunProtocol(ds, StrategyKind::kRoundRobin, BaseOptions());
+  ASSERT_TRUE(fcfs.ok());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_GT(Auc(*fcfs), 2.0 * Auc(*rr));
+}
+
+TEST(IntegrationTest, EaseMlNoWorseThanRandomScheduling) {
+  // Figure 10: the ease.ml scheduler dominates RANDOM user picking.
+  const data::Dataset ds = Syn(0.5, 0.5);
+  auto easeml = RunProtocol(ds, StrategyKind::kEaseMl, BaseOptions());
+  auto random = RunProtocol(ds, StrategyKind::kRandom, BaseOptions());
+  ASSERT_TRUE(easeml.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_LE(Auc(*easeml), Auc(*random) * 1.05);
+}
+
+TEST(IntegrationTest, RoundRobinBeatsFcfsOnWorstCaseToo) {
+  const data::Dataset ds = Syn(0.5, 0.5);
+  auto fcfs = RunProtocol(ds, StrategyKind::kFcfs, BaseOptions());
+  auto rr = RunProtocol(ds, StrategyKind::kRoundRobin, BaseOptions());
+  ASSERT_TRUE(fcfs.ok());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_GT(sim::AreaUnderCurve(fcfs->curves.grid, fcfs->curves.worst),
+            sim::AreaUnderCurve(rr->curves.grid, rr->curves.worst));
+}
+
+TEST(IntegrationTest, CostAwarenessHelpsOnHeterogeneousCosts) {
+  // Figure 13: disabling the cost-aware index on DEEPLEARNING (real
+  // heterogeneous costs) hurts end-to-end performance.
+  auto ds = data::GenerateDeepLearning(data::DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  ProtocolOptions opts = BaseOptions(/*reps=*/20);
+  opts.num_test_users = 8;
+  opts.cost_aware_budget = true;
+  opts.budget_fraction = 0.3;
+  opts.cost_aware_policy = true;
+  auto aware = RunProtocol(*ds, StrategyKind::kEaseMl, opts);
+  opts.cost_aware_policy = false;
+  auto oblivious = RunProtocol(*ds, StrategyKind::kEaseMl, opts);
+  ASSERT_TRUE(aware.ok());
+  ASSERT_TRUE(oblivious.ok());
+  EXPECT_LT(Auc(*aware), Auc(*oblivious));
+}
+
+TEST(IntegrationTest, EaseMlBeatsUserHeuristicsEndToEnd) {
+  // Figure 9: ease.ml vs MOSTCITED / MOSTRECENT on DEEPLEARNING with a
+  // cost budget.
+  auto ds = data::GenerateDeepLearning(data::DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  ProtocolOptions opts = BaseOptions(/*reps=*/20);
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = true;
+  opts.budget_fraction = 0.3;
+  auto easeml = RunProtocol(*ds, StrategyKind::kEaseMl, opts);
+  auto cited = RunProtocol(*ds, StrategyKind::kMostCited, opts);
+  auto recent = RunProtocol(*ds, StrategyKind::kMostRecent, opts);
+  ASSERT_TRUE(easeml.ok());
+  ASSERT_TRUE(cited.ok());
+  ASSERT_TRUE(recent.ok());
+  EXPECT_LT(Auc(*easeml), Auc(*cited));
+  EXPECT_LT(Auc(*easeml), Auc(*recent));
+}
+
+TEST(IntegrationTest, StrongerModelCorrelationHelps) {
+  // Figure 12: with a fixed amount of model-irrelevant variation, stronger
+  // correlation makes the GP estimator more useful.
+  ProtocolOptions opts = BaseOptions();
+  auto weak = RunProtocol(Syn(0.01, 1.0), StrategyKind::kEaseMl, opts);
+  auto strong = RunProtocol(Syn(0.5, 1.0), StrategyKind::kEaseMl, opts);
+  ASSERT_TRUE(weak.ok());
+  ASSERT_TRUE(strong.ok());
+  // Compare normalized by the dataset's own difficulty: loss should decay
+  // faster relative to its initial value under strong correlation.
+  const double weak_ratio = weak->curves.mean.back() /
+                            (weak->curves.mean.front() + 1e-9);
+  const double strong_ratio = strong->curves.mean.back() /
+                              (strong->curves.mean.front() + 1e-9);
+  EXPECT_LE(strong_ratio, weak_ratio + 0.05);
+}
+
+TEST(IntegrationTest, MoreKernelTrainingDataHelps) {
+  // Figure 14: more training logs -> better prior -> no worse performance.
+  auto ds = data::GenerateDeepLearning(data::DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  ProtocolOptions opts = BaseOptions(/*reps=*/20);
+  opts.cost_aware_budget = true;
+  opts.cost_aware_policy = true;
+  opts.budget_fraction = 0.3;
+  opts.kernel_train_fraction = 0.1;
+  auto small = RunProtocol(*ds, StrategyKind::kEaseMl, opts);
+  opts.kernel_train_fraction = 1.0;
+  auto full = RunProtocol(*ds, StrategyKind::kEaseMl, opts);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LE(Auc(*full), Auc(*small) + 0.01);
+}
+
+TEST(IntegrationTest, AllGpStrategiesAreRegretFree) {
+  // The regret-free property (R_T / T -> 0): with the full budget every
+  // GP-driven strategy finds every user's best model.
+  const data::Dataset ds = Syn(0.5, 0.5);
+  ProtocolOptions opts = BaseOptions(/*reps=*/5);
+  opts.budget_fraction = 1.0;
+  for (StrategyKind kind :
+       {StrategyKind::kEaseMl, StrategyKind::kGreedy,
+        StrategyKind::kRoundRobin, StrategyKind::kRandom}) {
+    auto result = RunProtocol(ds, kind, opts);
+    ASSERT_TRUE(result.ok()) << StrategyName(kind);
+    EXPECT_NEAR(result->curves.worst.back(), 0.0, 1e-9)
+        << StrategyName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace easeml::core

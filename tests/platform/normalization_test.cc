@@ -1,0 +1,97 @@
+#include "platform/normalization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easeml::platform {
+namespace {
+
+TEST(NormalizationTest, CreateRejectsNonPositiveK) {
+  EXPECT_FALSE(NormalizationFunction::Create(0.0).ok());
+  EXPECT_FALSE(NormalizationFunction::Create(-1.0).ok());
+  EXPECT_TRUE(NormalizationFunction::Create(0.2).ok());
+}
+
+TEST(NormalizationTest, MatchesFormula) {
+  auto f = NormalizationFunction::Create(0.5);
+  ASSERT_TRUE(f.ok());
+  // f_k(x) = -x^{2k} + x^k with k = 0.5: f(0.25) = -0.25 + 0.5 = 0.25.
+  EXPECT_NEAR(f->Apply(0.25), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(f->Apply(0.0), 0.0);
+  EXPECT_NEAR(f->Apply(1.0), 0.0, 1e-12);
+}
+
+TEST(NormalizationTest, PeakAtClosedFormLocation) {
+  for (double k : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto f = NormalizationFunction::Create(k);
+    ASSERT_TRUE(f.ok());
+    const double x_star = f->PeakLocation();
+    EXPECT_NEAR(x_star, std::pow(0.5, 1.0 / k), 1e-12);
+    // The peak value of f is 1/4; scaled peak is 1.
+    EXPECT_NEAR(f->Apply(x_star), 0.25, 1e-12);
+    EXPECT_NEAR(f->ApplyScaled(x_star), 1.0, 1e-12);
+    // Neighbors are below the peak.
+    EXPECT_LT(f->Apply(x_star - 0.05), 0.25);
+    EXPECT_LT(f->Apply(x_star + 0.05), 0.25);
+  }
+}
+
+TEST(NormalizationTest, ClampsInputOutsideUnitInterval) {
+  auto f = NormalizationFunction::Create(0.4);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->Apply(-5.0), f->Apply(0.0));
+  EXPECT_DOUBLE_EQ(f->Apply(7.0), f->Apply(1.0));
+}
+
+TEST(NormalizationTest, NormalizeVectorRescalesRange) {
+  auto f = NormalizationFunction::Create(0.2);
+  ASSERT_TRUE(f.ok());
+  // Values spanning ten orders of magnitude (the astrophysics case).
+  const std::vector<double> values = {1.0, 1e5, 1e10};
+  const std::vector<double> out = f->NormalizeVector(values);
+  ASSERT_EQ(out.size(), 3u);
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // The minimum maps to f(0) = 0 and the maximum to f(1) = 0.
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[2], 0.0, 1e-9);
+  EXPECT_GT(out[1], 0.0);  // interior value is boosted
+}
+
+TEST(NormalizationTest, NormalizeVectorConstantInput) {
+  auto f = NormalizationFunction::Create(0.4);
+  ASSERT_TRUE(f.ok());
+  const std::vector<double> out = f->NormalizeVector({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(out[0], out[1]);
+  EXPECT_TRUE(f->NormalizeVector({}).empty());
+}
+
+TEST(NormalizationTest, DefaultGridMatchesFigure5) {
+  EXPECT_EQ(DefaultNormalizationGrid(),
+            (std::vector<double>{0.2, 0.4, 0.6, 0.8}));
+}
+
+TEST(CandidateModelTest, DisplayName) {
+  CandidateModel plain{"ResNet-50", false, 0.0};
+  EXPECT_EQ(plain.DisplayName(), "ResNet-50");
+  CandidateModel normalized{"ResNet-50", true, 0.2};
+  EXPECT_EQ(normalized.DisplayName(), "ResNet-50@norm(k=0.2)");
+}
+
+TEST(ExpandWithNormalizationTest, OnePlainPlusOnePerK) {
+  const auto candidates = ExpandWithNormalization({"A", "B"}, {0.2, 0.8});
+  // Each base model: 1 plain + 2 normalized = 3; two models = 6.
+  ASSERT_EQ(candidates.size(), 6u);
+  int plain = 0, normalized = 0;
+  for (const auto& c : candidates) {
+    c.has_normalization ? ++normalized : ++plain;
+  }
+  EXPECT_EQ(plain, 2);
+  EXPECT_EQ(normalized, 4);
+}
+
+}  // namespace
+}  // namespace easeml::platform

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "platform/model_registry.h"
+#include "platform/task_pool.h"
+
+namespace easeml::platform {
+namespace {
+
+TEST(ModelRegistryTest, BuiltinCoversAllTemplateModels) {
+  const auto& registry = ModelRegistry::Builtin();
+  for (const auto& t : BuiltinTemplates()) {
+    for (const auto& name : t.candidate_models) {
+      auto info = registry.Find(name);
+      EXPECT_TRUE(info.ok()) << "missing metadata for " << name;
+      if (info.ok()) {
+        EXPECT_EQ(info->workload, t.workload) << name;
+        EXPECT_GT(info->relative_cost, 0.0) << name;
+        EXPECT_GT(info->citations_2017, 0) << name;
+      }
+    }
+  }
+}
+
+TEST(ModelRegistryTest, FindUnknownFails) {
+  EXPECT_FALSE(ModelRegistry::Builtin().Find("NoSuchNet").ok());
+}
+
+TEST(ModelRegistryTest, ForWorkloadFilters) {
+  const auto image = ModelRegistry::Builtin().ForWorkload(
+      WorkloadType::kImageClassification);
+  EXPECT_EQ(image.size(), 8u);
+  for (const auto& m : image) {
+    EXPECT_EQ(m.workload, WorkloadType::kImageClassification);
+  }
+}
+
+TEST(ModelRegistryTest, RegisterRejectsDuplicates) {
+  ModelRegistry r;
+  ModelInfo m{"net", WorkloadType::kImageClassification, 10, 2020, 1.0, 0.0};
+  EXPECT_TRUE(r.Register(m).ok());
+  EXPECT_FALSE(r.Register(m).ok());
+  EXPECT_EQ(r.size(), 1);
+}
+
+TEST(TaskPoolTest, AddUserTasksAssignsSequentialIds) {
+  TaskPool pool;
+  auto ids = pool.AddUserTasks(0, {{"A", false, 0.0}, {"B", false, 0.0}});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<int>{0, 1}));
+  auto more = pool.AddUserTasks(1, {{"C", false, 0.0}});
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(*more, (std::vector<int>{2}));
+  EXPECT_EQ(pool.num_tasks(), 3);
+}
+
+TEST(TaskPoolTest, AddUserTasksValidates) {
+  TaskPool pool;
+  EXPECT_FALSE(pool.AddUserTasks(0, {}).ok());
+  EXPECT_FALSE(pool.AddUserTasks(-1, {{"A", false, 0.0}}).ok());
+}
+
+TEST(TaskPoolTest, LifecycleTransitions) {
+  TaskPool pool;
+  auto ids = pool.AddUserTasks(0, {{"A", false, 0.0}});
+  ASSERT_TRUE(ids.ok());
+  const int id = (*ids)[0];
+  // Done before running is illegal.
+  EXPECT_FALSE(pool.MarkDone(id, 0.9, 1.0).ok());
+  EXPECT_TRUE(pool.MarkRunning(id).ok());
+  // Running twice is illegal.
+  EXPECT_FALSE(pool.MarkRunning(id).ok());
+  EXPECT_TRUE(pool.MarkDone(id, 0.9, 1.0).ok());
+  auto task = pool.Get(id);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->state, TaskState::kDone);
+  EXPECT_DOUBLE_EQ(task->accuracy, 0.9);
+}
+
+TEST(TaskPoolTest, MarkDoneValidatesMetrics) {
+  TaskPool pool;
+  auto ids = pool.AddUserTasks(0, {{"A", false, 0.0}});
+  ASSERT_TRUE(ids.ok());
+  ASSERT_TRUE(pool.MarkRunning(0).ok());
+  EXPECT_FALSE(pool.MarkDone(0, 1.5, 1.0).ok());
+  EXPECT_FALSE(pool.MarkDone(0, 0.5, -1.0).ok());
+  EXPECT_TRUE(pool.MarkDone(0, 0.5, 0.0).ok());
+}
+
+TEST(TaskPoolTest, QueriesByUserAndState) {
+  TaskPool pool;
+  ASSERT_TRUE(pool.AddUserTasks(0, {{"A", false, 0.0}, {"B", false, 0.0}})
+                  .ok());
+  ASSERT_TRUE(pool.AddUserTasks(1, {{"C", false, 0.0}}).ok());
+  ASSERT_TRUE(pool.MarkRunning(0).ok());
+  ASSERT_TRUE(pool.MarkDone(0, 0.7, 2.0).ok());
+  EXPECT_EQ(pool.PendingForUser(0).size(), 1u);
+  EXPECT_EQ(pool.TasksForUser(0).size(), 2u);
+  EXPECT_EQ(pool.CountInState(TaskState::kDone), 1);
+  EXPECT_EQ(pool.CountInState(TaskState::kPending), 2);
+}
+
+TEST(TaskPoolTest, BestForUserTracksHighestAccuracy) {
+  TaskPool pool;
+  ASSERT_TRUE(pool.AddUserTasks(0, {{"A", false, 0.0}, {"B", false, 0.0}})
+                  .ok());
+  EXPECT_FALSE(pool.BestForUser(0).ok());  // nothing finished
+  ASSERT_TRUE(pool.MarkRunning(0).ok());
+  ASSERT_TRUE(pool.MarkDone(0, 0.6, 1.0).ok());
+  ASSERT_TRUE(pool.MarkRunning(1).ok());
+  ASSERT_TRUE(pool.MarkDone(1, 0.8, 1.0).ok());
+  auto best = pool.BestForUser(0);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->candidate.base_model, "B");
+  EXPECT_FALSE(pool.BestForUser(9).ok());
+}
+
+TEST(TaskPoolTest, GetValidatesId) {
+  TaskPool pool;
+  EXPECT_FALSE(pool.Get(0).ok());
+  EXPECT_FALSE(pool.MarkRunning(-1).ok());
+}
+
+}  // namespace
+}  // namespace easeml::platform

@@ -1,0 +1,84 @@
+#include "platform/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace easeml::platform {
+namespace {
+
+TEST(TensorShapeTest, RankAndElements) {
+  TensorShape s{{256, 256, 3}};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.NumElements(), 256LL * 256 * 3);
+  EXPECT_EQ(s.ToString(), "Tensor[256,256,3]");
+}
+
+TEST(DataTypeTest, ToStringRendersBothParts) {
+  DataType dt;
+  dt.nonrec_fields.push_back({"img", {{10}}});
+  dt.rec_fields.push_back("next");
+  EXPECT_EQ(dt.ToString(), "{[img :: Tensor[10]], [next]}");
+}
+
+TEST(DataTypeTest, AnonymousFieldOmitsName) {
+  DataType dt;
+  dt.nonrec_fields.push_back({"", {{3}}});
+  EXPECT_EQ(dt.ToString(), "{[Tensor[3]], []}");
+}
+
+TEST(ProgramTest, ValidatesCleanProgram) {
+  Program p;
+  p.input.nonrec_fields.push_back({"", {{256, 256, 3}}});
+  p.output.nonrec_fields.push_back({"", {{3}}});
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.ToString(),
+            "{input: {[Tensor[256,256,3]], []}, output: {[Tensor[3]], []}}");
+}
+
+TEST(ProgramTest, RejectsEmptySide) {
+  Program p;
+  p.input.nonrec_fields.push_back({"", {{3}}});
+  EXPECT_FALSE(p.Validate().ok());  // output empty
+}
+
+TEST(ProgramTest, RejectsBadDims) {
+  Program p;
+  p.input.nonrec_fields.push_back({"", {{0}}});
+  p.output.nonrec_fields.push_back({"", {{3}}});
+  EXPECT_FALSE(p.Validate().ok());
+
+  p.input.nonrec_fields[0].shape.dims = {};
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProgramTest, RejectsBadFieldNames) {
+  Program p;
+  p.input.nonrec_fields.push_back({"BadName", {{3}}});  // uppercase
+  p.output.nonrec_fields.push_back({"", {{3}}});
+  EXPECT_FALSE(p.Validate().ok());
+
+  p.input.nonrec_fields[0].name = "ok_name_1";
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ProgramTest, RejectsDuplicateRecursiveFields) {
+  Program p;
+  p.input.nonrec_fields.push_back({"", {{3}}});
+  p.input.rec_fields = {"next", "next"};
+  p.output.nonrec_fields.push_back({"", {{3}}});
+  EXPECT_FALSE(p.Validate().ok());
+  p.input.rec_fields = {"next", "prev"};
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ProgramTest, EqualityIsStructural) {
+  Program a, b;
+  a.input.nonrec_fields.push_back({"", {{3}}});
+  a.output.nonrec_fields.push_back({"", {{2}}});
+  b = a;
+  EXPECT_EQ(a, b);
+  b.output.nonrec_fields[0].shape.dims = {4};
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace easeml::platform

@@ -1,0 +1,130 @@
+#include "platform/templates.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "platform/dsl_parser.h"
+
+namespace easeml::platform {
+namespace {
+
+Program Parse(const std::string& text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+TEST(TemplatesTest, ImageClassification) {
+  auto match = MatchTemplates(Parse(
+      "{input: {[Tensor[256,256,3]], []}, output: {[Tensor[3]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kImageClassification);
+  EXPECT_EQ(match->candidate_models.size(), 8u);
+  EXPECT_NE(std::find(match->candidate_models.begin(),
+                      match->candidate_models.end(), "ResNet-50"),
+            match->candidate_models.end());
+}
+
+TEST(TemplatesTest, ImageRecovery) {
+  auto match = MatchTemplates(Parse(
+      "{input: {[Tensor[64,64,3]], []}, output: {[Tensor[64,64,3]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kImageRecovery);
+  EXPECT_EQ(match->candidate_models,
+            (std::vector<std::string>{"Auto-encoder", "GAN", "pix2pix"}));
+}
+
+TEST(TemplatesTest, TimeSeriesClassification) {
+  auto match = MatchTemplates(
+      Parse("{input: {[Tensor[10]], [next]}, output: {[Tensor[4]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kTimeSeriesClassification);
+  EXPECT_EQ(match->candidate_models.size(), 4u);  // RNN/LSTM/bi-LSTM/GRU
+}
+
+TEST(TemplatesTest, TimeSeriesTranslation) {
+  auto match = MatchTemplates(Parse(
+      "{input: {[Tensor[10]], [next]}, output: {[Tensor[10]], [next]}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kTimeSeriesTranslation);
+  EXPECT_EQ(match->candidate_models, (std::vector<std::string>{"seq2seq"}));
+}
+
+TEST(TemplatesTest, TreeClassification) {
+  auto match = MatchTemplates(Parse(
+      "{input: {[Tensor[16]], [left, right]}, output: {[Tensor[2]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kTreeClassification);
+}
+
+TEST(TemplatesTest, GeneralClassificationFallback) {
+  // Rank-2 input matches nothing specific but ends in a classification.
+  auto match = MatchTemplates(
+      Parse("{input: {[Tensor[5,5]], []}, output: {[Tensor[2]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kGeneralClassification);
+  EXPECT_EQ(match->candidate_models,
+            (std::vector<std::string>{"Bit-level-RNN"}));
+}
+
+TEST(TemplatesTest, GeneralAutoEncoderIsLastResort) {
+  auto match = MatchTemplates(
+      Parse("{input: {[Tensor[5,5]], []}, output: {[Tensor[2,2]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kGeneralAutoEncoder);
+}
+
+TEST(TemplatesTest, MatchingOrderPrefersSpecificTemplates) {
+  // A rank-3 -> rank-1 program matches both image classification (row 1)
+  // and general classification (row 6); the specific row must win.
+  auto match = MatchTemplates(
+      Parse("{input: {[Tensor[8,8,3]], []}, output: {[Tensor[2]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kImageClassification);
+}
+
+TEST(TemplatesTest, TimeSeriesTailWildcardAllowsExtraTensors) {
+  // {[Tensor[A], *], [a]}: extra tensor fields after the first are fine.
+  auto match = MatchTemplates(Parse(
+      "{input: {[Tensor[10], Tensor[3,3]], [next]}, "
+      "output: {[Tensor[4]], []}}"));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->workload, WorkloadType::kTimeSeriesClassification);
+}
+
+TEST(TemplatesTest, AllTemplateRowsHaveModels) {
+  for (const auto& t : BuiltinTemplates()) {
+    EXPECT_FALSE(t.candidate_models.empty())
+        << WorkloadTypeName(t.workload);
+  }
+  EXPECT_EQ(BuiltinTemplates().size(), 7u);  // Figure 4 has seven rows
+}
+
+TEST(TemplatesTest, WorkloadNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto& t : BuiltinTemplates()) {
+    names.insert(WorkloadTypeName(t.workload));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(SidePatternTest, ExactTensorCountWithoutWildcard) {
+  SidePattern p{{3}, false, 0, false};
+  DataType one_rank3;
+  one_rank3.nonrec_fields.push_back({"", {{4, 4, 3}}});
+  EXPECT_TRUE(p.Matches(one_rank3));
+  one_rank3.nonrec_fields.push_back({"", {{4}}});
+  EXPECT_FALSE(p.Matches(one_rank3));  // extra tensor, no wildcard
+}
+
+TEST(SidePatternTest, RecWildcardAcceptsAnyCount) {
+  SidePattern p{{}, true, 0, true};
+  DataType dt;
+  dt.nonrec_fields.push_back({"", {{4}}});
+  dt.rec_fields = {"a", "b", "c"};
+  EXPECT_TRUE(p.Matches(dt));
+}
+
+}  // namespace
+}  // namespace easeml::platform

@@ -1,0 +1,66 @@
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace easeml::sim {
+namespace {
+
+data::Dataset ToyDataset() {
+  data::Dataset ds;
+  ds.name = "toy";
+  ds.user_names = {"u0", "u1"};
+  ds.model_names = {"m0", "m1"};
+  ds.quality = *linalg::Matrix::FromRowMajor(2, 2, {0.5, 0.9, 0.7, 0.3});
+  ds.cost = *linalg::Matrix::FromRowMajor(2, 2, {1.0, 4.0, 2.0, 2.0});
+  return ds;
+}
+
+TEST(EnvironmentTest, CreateValidatesDataset) {
+  data::Dataset bad = ToyDataset();
+  bad.quality(0, 0) = 2.0;
+  EXPECT_FALSE(Environment::Create(bad).ok());
+  EXPECT_FALSE(Environment::Create(ToyDataset(), -0.1).ok());
+  EXPECT_TRUE(Environment::Create(ToyDataset()).ok());
+}
+
+TEST(EnvironmentTest, DeterministicRewardWithoutNoise) {
+  auto env = Environment::Create(ToyDataset());
+  ASSERT_TRUE(env.ok());
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_DOUBLE_EQ(env->Reward(0, 1), 0.9);
+    EXPECT_DOUBLE_EQ(env->Reward(1, 0), 0.7);
+  }
+  EXPECT_DOUBLE_EQ(env->TrueQuality(0, 0), 0.5);
+}
+
+TEST(EnvironmentTest, NoisyRewardsClippedAndCentered) {
+  auto env = Environment::Create(ToyDataset(), 0.05, 3);
+  ASSERT_TRUE(env.ok());
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double r = env->Reward(0, 1);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / n, 0.9, 0.01);
+}
+
+TEST(EnvironmentTest, CostAccessors) {
+  auto env = Environment::Create(ToyDataset());
+  ASSERT_TRUE(env.ok());
+  EXPECT_DOUBLE_EQ(env->Cost(0, 1), 4.0);
+  EXPECT_EQ(env->CostsForUser(1), (std::vector<double>{2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(env->TotalCost(), 9.0);
+}
+
+TEST(EnvironmentTest, BestQuality) {
+  auto env = Environment::Create(ToyDataset());
+  ASSERT_TRUE(env.ok());
+  EXPECT_DOUBLE_EQ(env->BestQuality(0), 0.9);
+  EXPECT_DOUBLE_EQ(env->BestQuality(1), 0.7);
+}
+
+}  // namespace
+}  // namespace easeml::sim

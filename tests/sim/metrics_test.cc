@@ -1,0 +1,83 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace easeml::sim {
+namespace {
+
+LossCurve MakeCurve(std::vector<double> loss) {
+  LossCurve c;
+  const int n = static_cast<int>(loss.size());
+  for (int i = 0; i < n; ++i) {
+    c.grid.push_back(static_cast<double>(i) / (n - 1));
+  }
+  c.avg_loss = std::move(loss);
+  return c;
+}
+
+TEST(AggregateTest, MeanAndWorstPointwise) {
+  std::vector<LossCurve> reps = {MakeCurve({0.4, 0.2, 0.0}),
+                                 MakeCurve({0.6, 0.4, 0.2})};
+  auto agg = Aggregate(reps);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->mean[0], 0.5);
+  EXPECT_DOUBLE_EQ(agg->mean[1], 0.3);
+  EXPECT_DOUBLE_EQ(agg->mean[2], 0.1);
+  EXPECT_DOUBLE_EQ(agg->worst[0], 0.6);
+  EXPECT_DOUBLE_EQ(agg->worst[2], 0.2);
+}
+
+TEST(AggregateTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(Aggregate({}).ok());
+  std::vector<LossCurve> mismatched = {MakeCurve({0.5, 0.1}),
+                                       MakeCurve({0.5, 0.1, 0.0})};
+  EXPECT_FALSE(Aggregate(mismatched).ok());
+  LossCurve empty;
+  EXPECT_FALSE(Aggregate({empty}).ok());
+}
+
+TEST(FractionToReachTest, FindsFirstCrossing) {
+  LossCurve c = MakeCurve({0.5, 0.3, 0.1, 0.1, 0.05});
+  auto f = FractionToReach(c.grid, c.avg_loss, 0.1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(*f, 0.5);
+  EXPECT_FALSE(FractionToReach(c.grid, c.avg_loss, 0.01).has_value());
+  // Already below the target at x = 0.
+  EXPECT_DOUBLE_EQ(*FractionToReach(c.grid, c.avg_loss, 0.9), 0.0);
+}
+
+TEST(SpeedupToReachTest, RatioOfCrossings) {
+  // fast reaches 0.1 at x=0.25, slow at x=0.75 -> 3x.
+  AggregatedCurves fast, slow;
+  fast.grid = slow.grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+  fast.mean = {0.5, 0.1, 0.1, 0.1, 0.1};
+  slow.mean = {0.5, 0.4, 0.3, 0.1, 0.1};
+  auto s = SpeedupToReach(fast, slow, 0.1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 3.0);
+}
+
+TEST(SpeedupToReachTest, FailsWhenTargetUnreached) {
+  AggregatedCurves a, b;
+  a.grid = b.grid = {0.0, 1.0};
+  a.mean = {0.5, 0.4};
+  b.mean = {0.5, 0.01};
+  EXPECT_FALSE(SpeedupToReach(a, b, 0.1).ok());
+  EXPECT_FALSE(SpeedupToReach(b, a, 0.1).ok());
+}
+
+TEST(AreaUnderCurveTest, TrapezoidalRule) {
+  // Constant 0.5 over [0,1] -> area 0.5; linear 1 -> 0 gives 0.5 too.
+  EXPECT_DOUBLE_EQ(AreaUnderCurve({0.0, 1.0}, {0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(AreaUnderCurve({0.0, 1.0}, {1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(AreaUnderCurve({0.0, 0.5, 1.0}, {1.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(AreaUnderCurveTest, LowerCurveHasSmallerArea) {
+  const std::vector<double> grid = {0.0, 0.5, 1.0};
+  EXPECT_LT(AreaUnderCurve(grid, {0.2, 0.1, 0.0}),
+            AreaUnderCurve(grid, {0.5, 0.4, 0.3}));
+}
+
+}  // namespace
+}  // namespace easeml::sim

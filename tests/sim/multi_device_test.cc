@@ -1,0 +1,229 @@
+#include "sim/multi_device.h"
+
+#include <gtest/gtest.h>
+
+#include "bandit/gp_ucb.h"
+#include "common/rng.h"
+#include "scheduler/round_robin.h"
+
+namespace easeml::sim {
+namespace {
+
+data::Dataset RandomDataset(int n, int k, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.name = "rand";
+  ds.quality = linalg::Matrix(n, k);
+  ds.cost = linalg::Matrix(n, k);
+  for (int i = 0; i < n; ++i) {
+    ds.user_names.push_back("u" + std::to_string(i));
+    for (int j = 0; j < k; ++j) {
+      ds.quality(i, j) = rng.Uniform(0.1, 0.95);
+      ds.cost(i, j) = rng.Uniform(0.5, 4.0);
+    }
+  }
+  for (int j = 0; j < k; ++j) {
+    ds.model_names.push_back("m" + std::to_string(j));
+  }
+  return ds;
+}
+
+std::vector<scheduler::UserState> MakeGpUsers(const Environment& env) {
+  std::vector<scheduler::UserState> users;
+  for (int i = 0; i < env.num_users(); ++i) {
+    auto belief = gp::DiscreteArmGp::Create(
+        linalg::Matrix::Identity(env.num_models()), 0.01);
+    EXPECT_TRUE(belief.ok());
+    auto policy = bandit::GpUcbPolicy::CreateUnique(
+        std::move(belief).value(), bandit::GpUcbOptions());
+    EXPECT_TRUE(policy.ok());
+    auto state = scheduler::UserState::Create(i, std::move(policy).value(),
+                                              env.CostsForUser(i));
+    EXPECT_TRUE(state.ok());
+    users.push_back(std::move(state).value());
+  }
+  return users;
+}
+
+MultiDeviceOptions FullBudget(int devices) {
+  MultiDeviceOptions opts;
+  opts.num_devices = devices;
+  opts.total_capacity = 8.0;
+  opts.budget_fraction = 1.0;
+  return opts;
+}
+
+TEST(MultiDeviceTest, ValidatesOptions) {
+  auto env = Environment::Create(RandomDataset(3, 4, 1));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  MultiDeviceOptions opts;
+  opts.num_devices = 0;
+  EXPECT_FALSE(RunMultiDeviceSimulation(*env, users, rr, opts).ok());
+  opts = MultiDeviceOptions();
+  opts.total_capacity = 0.0;
+  EXPECT_FALSE(RunMultiDeviceSimulation(*env, users, rr, opts).ok());
+  opts = MultiDeviceOptions();
+  opts.budget_fraction = 0.0;
+  EXPECT_FALSE(RunMultiDeviceSimulation(*env, users, rr, opts).ok());
+  opts = MultiDeviceOptions();
+  opts.grid_points = 1;
+  EXPECT_FALSE(RunMultiDeviceSimulation(*env, users, rr, opts).ok());
+}
+
+TEST(MultiDeviceTest, SingleDeviceMatchesModelCount) {
+  auto env = Environment::Create(RandomDataset(4, 5, 2));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  auto result = RunMultiDeviceSimulation(*env, users, rr, FullBudget(1));
+  ASSERT_TRUE(result.ok());
+  // Full wall-clock budget at full capacity trains everything.
+  EXPECT_EQ(result->steps, 20);
+  EXPECT_NEAR(result->curve.avg_loss.back(), 0.0, 1e-12);
+  EXPECT_LE(result->makespan, result->budget + 1e-9);
+}
+
+TEST(MultiDeviceTest, BusyTimeEqualsScaledCostOfCompletedJobs) {
+  auto env = Environment::Create(RandomDataset(3, 4, 3));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  auto result = RunMultiDeviceSimulation(*env, users, rr, FullBudget(4));
+  ASSERT_TRUE(result.ok());
+  // Every launched job completes; its duration is cost / (capacity /
+  // devices) = cost / 2. Jobs that would overrun the wall-clock budget are
+  // never launched (multi-device packing is imperfect, so some may be cut
+  // even at budget_fraction 1).
+  double completed_cost = 0.0;
+  for (const auto& u : users) completed_cost += u.consumed_cost();
+  EXPECT_NEAR(result->busy_time, completed_cost / 2.0, 1e-9);
+  EXPECT_GT(result->steps, 0);
+}
+
+TEST(MultiDeviceTest, MoreDevicesOverlapJobs) {
+  for (int devices : {1, 4}) {
+    auto env = Environment::Create(RandomDataset(6, 4, 4));
+    ASSERT_TRUE(env.ok());
+    auto users = MakeGpUsers(*env);
+    scheduler::RoundRobinScheduler rr;
+    auto result =
+        RunMultiDeviceSimulation(*env, users, rr, FullBudget(devices));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->steps, 20);  // near-complete campaign
+    if (devices == 1) {
+      // Sequential: busy time equals makespan (no overlap possible).
+      EXPECT_NEAR(result->busy_time, result->makespan, 1e-9);
+    } else {
+      // Devices genuinely overlap: device-seconds exceed wall-clock.
+      EXPECT_GT(result->busy_time, result->makespan * 1.5);
+    }
+  }
+}
+
+TEST(MultiDeviceTest, SingleFastDeviceReturnsTheFirstModelSooner) {
+  // The verifiable core of the paper's Section-5.3.2 argument: one big
+  // device running a model at 8x speed finishes the campaign's first model
+  // strictly earlier than eight slow devices starting in parallel.
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    double first_single = 0.0, first_multi = 0.0;
+    for (int devices : {1, 8}) {
+      auto env = Environment::Create(RandomDataset(8, 6, seed));
+      ASSERT_TRUE(env.ok());
+      auto users = MakeGpUsers(*env);
+      scheduler::RoundRobinScheduler rr;
+      auto result =
+          RunMultiDeviceSimulation(*env, users, rr, FullBudget(devices));
+      ASSERT_TRUE(result.ok());
+      (devices == 1 ? first_single : first_multi) =
+          result->first_completion_time;
+    }
+    EXPECT_LT(first_single, first_multi) << "seed=" << seed;
+  }
+}
+
+TEST(MultiDeviceTest, SingleFastDeviceWinsAccumulatedLoss) {
+  // The paper's Section-5.3.2 conclusion: with near-linear scaling, the
+  // single-device configuration achieves lower accumulated loss than
+  // one-device-per-user, because each model returns sooner. Averaged over
+  // seeds for robustness.
+  double auc_single = 0.0, auc_multi = 0.0;
+  for (uint64_t seed = 10; seed < 20; ++seed) {
+    for (int devices : {1, 8}) {
+      auto env = Environment::Create(RandomDataset(8, 6, seed));
+      ASSERT_TRUE(env.ok());
+      auto users = MakeGpUsers(*env);
+      scheduler::RoundRobinScheduler rr;
+      auto result =
+          RunMultiDeviceSimulation(*env, users, rr, FullBudget(devices));
+      ASSERT_TRUE(result.ok());
+      const double auc =
+          AreaUnderCurve(result->curve.grid, result->curve.avg_loss);
+      (devices == 1 ? auc_single : auc_multi) += auc;
+    }
+  }
+  EXPECT_LT(auc_single, auc_multi);
+}
+
+TEST(MultiDeviceTest, SublinearScalingPenalizesTheBigDevice) {
+  // With scaling exponent < 1 the 8-unit device no longer runs 8x faster:
+  // within the same wall-clock budget it completes fewer training runs.
+  int steps_linear = 0, steps_sublinear = 0;
+  for (double alpha : {1.0, 0.7}) {
+    auto env = Environment::Create(RandomDataset(6, 6, 9));
+    ASSERT_TRUE(env.ok());
+    auto users = MakeGpUsers(*env);
+    scheduler::RoundRobinScheduler rr;
+    MultiDeviceOptions opts = FullBudget(1);
+    opts.budget_fraction = 0.5;
+    opts.scaling_exponent = alpha;
+    auto result = RunMultiDeviceSimulation(*env, users, rr, opts);
+    ASSERT_TRUE(result.ok());
+    (alpha == 1.0 ? steps_linear : steps_sublinear) = result->steps;
+  }
+  EXPECT_GT(steps_linear, steps_sublinear);
+}
+
+TEST(MultiDeviceTest, ValidatesScalingExponent) {
+  auto env = Environment::Create(RandomDataset(3, 4, 1));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  MultiDeviceOptions opts = FullBudget(2);
+  opts.scaling_exponent = 0.0;
+  EXPECT_FALSE(RunMultiDeviceSimulation(*env, users, rr, opts).ok());
+  opts.scaling_exponent = 1.5;
+  EXPECT_FALSE(RunMultiDeviceSimulation(*env, users, rr, opts).ok());
+}
+
+TEST(MultiDeviceTest, LossCurveIsNonIncreasing) {
+  auto env = Environment::Create(RandomDataset(5, 5, 6));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  MultiDeviceOptions opts = FullBudget(3);
+  opts.budget_fraction = 0.6;
+  auto result = RunMultiDeviceSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->curve.avg_loss.size(); ++i) {
+    EXPECT_LE(result->curve.avg_loss[i],
+              result->curve.avg_loss[i - 1] + 1e-12);
+  }
+}
+
+TEST(MultiDeviceTest, RespectsWallClockBudget) {
+  auto env = Environment::Create(RandomDataset(5, 5, 7));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  MultiDeviceOptions opts = FullBudget(2);
+  opts.budget_fraction = 0.3;
+  auto result = RunMultiDeviceSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->makespan, result->budget + 1e-9);
+  EXPECT_LT(result->steps, 25);
+}
+
+}  // namespace
+}  // namespace easeml::sim

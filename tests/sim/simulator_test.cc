@@ -1,0 +1,308 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bandit/fixed_order.h"
+#include "bandit/gp_ucb.h"
+#include "common/rng.h"
+#include "scheduler/fcfs.h"
+#include "scheduler/round_robin.h"
+
+namespace easeml::sim {
+namespace {
+
+data::Dataset RandomDataset(int n, int k, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.name = "rand";
+  ds.quality = linalg::Matrix(n, k);
+  ds.cost = linalg::Matrix(n, k);
+  for (int i = 0; i < n; ++i) {
+    ds.user_names.push_back("u" + std::to_string(i));
+    for (int j = 0; j < k; ++j) {
+      ds.quality(i, j) = rng.Uniform(0.1, 0.95);
+      ds.cost(i, j) = rng.Uniform(0.5, 2.0);
+    }
+  }
+  for (int j = 0; j < k; ++j) ds.model_names.push_back("m" + std::to_string(j));
+  return ds;
+}
+
+std::vector<scheduler::UserState> MakeGpUsers(const Environment& env) {
+  std::vector<scheduler::UserState> users;
+  for (int i = 0; i < env.num_users(); ++i) {
+    auto belief = gp::DiscreteArmGp::Create(
+        linalg::Matrix::Identity(env.num_models()), 0.01);
+    EXPECT_TRUE(belief.ok());
+    auto policy = bandit::GpUcbPolicy::CreateUnique(
+        std::move(belief).value(), bandit::GpUcbOptions());
+    EXPECT_TRUE(policy.ok());
+    auto state = scheduler::UserState::Create(i, std::move(policy).value(),
+                                              env.CostsForUser(i));
+    EXPECT_TRUE(state.ok());
+    users.push_back(std::move(state).value());
+  }
+  return users;
+}
+
+TEST(SimulatorTest, RunsToFullBudgetAndFindsOptimaAtFullFraction) {
+  auto env = Environment::Create(RandomDataset(4, 5, 1));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.budget_fraction = 1.0;  // train everything
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps, 20);  // 4 users x 5 models
+  // With the full budget every user finds its best model: final loss 0.
+  EXPECT_NEAR(result->curve.avg_loss.back(), 0.0, 1e-12);
+  for (double l : result->final_per_user_loss) EXPECT_NEAR(l, 0.0, 1e-12);
+}
+
+TEST(SimulatorTest, LossCurveIsNonIncreasing) {
+  auto env = Environment::Create(RandomDataset(5, 6, 2));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.budget_fraction = 0.8;
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->curve.avg_loss.size(); ++i) {
+    EXPECT_LE(result->curve.avg_loss[i], result->curve.avg_loss[i - 1] + 1e-12);
+  }
+  // Grid spans [0, 1].
+  EXPECT_DOUBLE_EQ(result->curve.grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(result->curve.grid.back(), 1.0);
+}
+
+TEST(SimulatorTest, RunsBudgetLimitsSteps) {
+  auto env = Environment::Create(RandomDataset(4, 5, 3));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.budget_fraction = 0.5;  // 10 of 20 runs
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps, 10);
+  EXPECT_DOUBLE_EQ(result->consumed, 10.0);
+}
+
+TEST(SimulatorTest, CostBudgetNeverExceeded) {
+  auto env = Environment::Create(RandomDataset(4, 5, 4));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.cost_aware_budget = true;
+  opts.budget_fraction = 0.3;
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->consumed, result->budget + 1e-9);
+  EXPECT_GT(result->steps, 0);
+}
+
+TEST(SimulatorTest, InitialSweepServesEveryUserFirst) {
+  auto env = Environment::Create(RandomDataset(6, 4, 5));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.budget_fraction = 0.25;  // exactly 6 runs = one sweep
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps, 6);
+  for (const auto& u : users) EXPECT_EQ(u.rounds_served(), 1);
+}
+
+TEST(SimulatorTest, NoSweepWhenDisabled) {
+  auto env = Environment::Create(RandomDataset(6, 4, 6));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  // FCFS-style: without a sweep, all early budget goes to user 0.
+  scheduler::RoundRobinScheduler rr;  // scheduler irrelevant for 1 step
+  SimulationOptions opts;
+  opts.initial_sweep = false;
+  opts.budget_fraction = 0.25;
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  // Round-robin without sweep still rotates, so each user got one round.
+  EXPECT_EQ(result->steps, 6);
+}
+
+TEST(SimulatorTest, ValidatesArguments) {
+  auto env = Environment::Create(RandomDataset(3, 4, 7));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.budget_fraction = 0.0;
+  EXPECT_FALSE(RunSimulation(*env, users, rr, opts).ok());
+  opts = SimulationOptions();
+  opts.grid_points = 1;
+  EXPECT_FALSE(RunSimulation(*env, users, rr, opts).ok());
+  // User count mismatch.
+  opts = SimulationOptions();
+  users.pop_back();
+  EXPECT_FALSE(RunSimulation(*env, users, rr, opts).ok());
+}
+
+TEST(SimulatorTest, DeterministicForDeterministicComponents) {
+  for (int trial = 0; trial < 2; ++trial) {
+    auto env = Environment::Create(RandomDataset(4, 5, 8));
+    ASSERT_TRUE(env.ok());
+    auto users = MakeGpUsers(*env);
+    scheduler::RoundRobinScheduler rr;
+    SimulationOptions opts;
+    static std::vector<double> first_curve;
+    auto result = RunSimulation(*env, users, rr, opts);
+    ASSERT_TRUE(result.ok());
+    if (trial == 0) {
+      first_curve = result->curve.avg_loss;
+    } else {
+      EXPECT_EQ(result->curve.avg_loss, first_curve);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easeml::sim
+
+namespace easeml::sim {
+namespace {
+
+TEST(RegretTest, EaseMlRegretBoundedByCumulativeRegret) {
+  // R'_T <= R_T (Section 4.1): best-so-far rewards dominate last rewards.
+  auto env = Environment::Create(RandomDataset(5, 6, 21));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.budget_fraction = 1.0;
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->cumulative_regret, 0.0);
+  EXPECT_LE(result->easeml_regret, result->cumulative_regret + 1e-9);
+}
+
+TEST(RegretTest, FcfsAccumulatesMoreRegretThanRoundRobin) {
+  // The Section-4.1 example: FCFS leaves unserved users at full regret.
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    auto env_a = Environment::Create(RandomDataset(6, 5, seed));
+    auto env_b = Environment::Create(RandomDataset(6, 5, seed));
+    ASSERT_TRUE(env_a.ok());
+    ASSERT_TRUE(env_b.ok());
+    auto users_a = MakeGpUsers(*env_a);
+    auto users_b = MakeGpUsers(*env_b);
+    scheduler::FcfsScheduler fcfs;
+    scheduler::RoundRobinScheduler rr;
+    SimulationOptions opts;
+    opts.budget_fraction = 0.5;
+    opts.initial_sweep = false;  // let FCFS behave pathologically
+    auto a = RunSimulation(*env_a, users_a, fcfs, opts);
+    auto b = RunSimulation(*env_b, users_b, rr, opts);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_GT(a->cumulative_regret, b->cumulative_regret) << "seed=" << seed;
+  }
+}
+
+TEST(RegretTest, RegretZeroWhenEveryModelIsOptimalFromStart) {
+  // Single-model environment: the only model is optimal, so after each
+  // user's first (and only) run the regret contribution is zero for served
+  // users; total regret counts only the not-yet-served tail.
+  data::Dataset ds;
+  ds.name = "one-model";
+  ds.user_names = {"u0"};
+  ds.model_names = {"m0"};
+  ds.quality = *linalg::Matrix::FromRowMajor(1, 1, {0.8});
+  ds.cost = *linalg::Matrix::FromRowMajor(1, 1, {2.0});
+  auto env = Environment::Create(std::move(ds));
+  ASSERT_TRUE(env.ok());
+  auto users = MakeGpUsers(*env);
+  scheduler::RoundRobinScheduler rr;
+  SimulationOptions opts;
+  opts.budget_fraction = 1.0;
+  auto result = RunSimulation(*env, users, rr, opts);
+  ASSERT_TRUE(result.ok());
+  // One step; after it the user holds the optimal model: regret 0.
+  EXPECT_EQ(result->steps, 1);
+  EXPECT_NEAR(result->cumulative_regret, 0.0, 1e-12);
+  EXPECT_NEAR(result->easeml_regret, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace easeml::sim
+
+namespace easeml::sim {
+namespace {
+
+/// Direct reproduction of the worked example in Section 4.1: two users,
+/// three models each with qualities {90, 95, 100} and {70, 95, 100} (in
+/// percent), unit costs. Serving U1 twice (FCFS) accumulates regret 215;
+/// alternating U1 then U2 accumulates 150.
+TEST(RegretTest, PaperSection41WorkedExample) {
+  auto make_env = [] {
+    data::Dataset ds;
+    ds.name = "sec4.1";
+    ds.user_names = {"U1", "U2"};
+    ds.model_names = {"M1", "M2", "M3"};
+    ds.quality = *linalg::Matrix::FromRowMajor(2, 3,
+                                               {0.90, 0.95, 1.00,   //
+                                                0.70, 0.95, 1.00});
+    ds.cost = linalg::Matrix(2, 3, 1.0);
+    auto env = Environment::Create(std::move(ds));
+    EXPECT_TRUE(env.ok());
+    return std::move(env).value();
+  };
+  auto make_users = [] {
+    std::vector<scheduler::UserState> users;
+    for (int i = 0; i < 2; ++i) {
+      // Fixed order M1 -> M2 -> M3 to mirror the example's exploration.
+      auto policy = bandit::FixedOrderPolicy::Create({0, 1, 2}, "fixed");
+      EXPECT_TRUE(policy.ok());
+      auto state = scheduler::UserState::Create(
+          i,
+          std::make_unique<bandit::FixedOrderPolicy>(
+              std::move(policy).value()),
+          {1.0, 1.0, 1.0});
+      EXPECT_TRUE(state.ok());
+      users.push_back(std::move(state).value());
+    }
+    return users;
+  };
+
+  SimulationOptions opts;
+  opts.budget_fraction = 2.0 / 6.0;  // exactly two rounds
+  opts.initial_sweep = false;
+
+  // FCFS: both rounds go to U1.
+  {
+    auto env = make_env();
+    auto users = make_users();
+    scheduler::FcfsScheduler fcfs;
+    auto result = RunSimulation(env, users, fcfs, opts);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->steps, 2);
+    // Round 1: (100-90) + (100-0) = 110; round 2: (100-95) + 100 = 105.
+    EXPECT_NEAR(result->cumulative_regret, 2.15, 1e-12);
+  }
+  // Alternating: U1 then U2.
+  {
+    auto env = make_env();
+    auto users = make_users();
+    scheduler::RoundRobinScheduler rr;
+    auto result = RunSimulation(env, users, rr, opts);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->steps, 2);
+    // Round 1: 110; round 2: (100-90) + (100-70) = 40. Total 150.
+    EXPECT_NEAR(result->cumulative_regret, 1.50, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace easeml::sim

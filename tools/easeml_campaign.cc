@@ -1,0 +1,189 @@
+/// easeml_campaign — command-line runner for multi-tenant model-selection
+/// experiments, for users who want the paper's protocol on the built-in
+/// workloads without writing C++.
+///
+/// Usage:
+///   easeml_campaign [--dataset=NAME] [--strategy=NAME]... [--reps=N]
+///                   [--test-users=N] [--budget=F] [--cost-aware]
+///                   [--seed=N] [--csv]
+///
+///   --dataset     deeplearning | 179classifier | syn:SIGMA_M,ALPHA
+///                 (default deeplearning)
+///   --strategy    easeml | greedy | round-robin | random | fcfs |
+///                 most-cited | most-recent (repeatable;
+///                 default: easeml round-robin random)
+///   --reps        repetitions (default 20)
+///   --test-users  test users per repetition (default 10)
+///   --budget      budget fraction in (0, 1] (default 0.5)
+///   --cost-aware  cost-aware algorithms + cost budget (default off)
+///   --seed        master seed (default 42)
+///   --csv         emit full loss curves as CSV instead of the summary
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/experiment_runner.h"
+#include "data/classifier179.h"
+#include "data/deeplearning.h"
+#include "data/synthetic_generator.h"
+
+namespace {
+
+using easeml::Result;
+using easeml::Status;
+using easeml::core::ProtocolOptions;
+using easeml::core::StrategyKind;
+
+Result<easeml::data::Dataset> MakeDataset(const std::string& name) {
+  if (name == "deeplearning") {
+    return easeml::data::GenerateDeepLearning({});
+  }
+  if (name == "179classifier") {
+    return easeml::data::GenerateClassifier179({});
+  }
+  if (name.rfind("syn:", 0) == 0) {
+    easeml::data::SimpleSynOptions opts;
+    const std::string params = name.substr(4);
+    const size_t comma = params.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument(
+          "syn dataset needs syn:SIGMA_M,ALPHA (e.g. syn:0.5,1.0)");
+    }
+    opts.sigma_m = std::atof(params.substr(0, comma).c_str());
+    opts.alpha = std::atof(params.substr(comma + 1).c_str());
+    if (opts.sigma_m <= 0.0) {
+      return Status::InvalidArgument("syn: sigma_m must be > 0");
+    }
+    return easeml::data::GenerateSimpleSyn(opts);
+  }
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+Result<StrategyKind> ParseStrategy(const std::string& name) {
+  if (name == "easeml") return StrategyKind::kEaseMl;
+  if (name == "greedy") return StrategyKind::kGreedy;
+  if (name == "round-robin") return StrategyKind::kRoundRobin;
+  if (name == "random") return StrategyKind::kRandom;
+  if (name == "fcfs") return StrategyKind::kFcfs;
+  if (name == "most-cited") return StrategyKind::kMostCited;
+  if (name == "most-recent") return StrategyKind::kMostRecent;
+  return Status::InvalidArgument("unknown strategy: " + name);
+}
+
+struct Args {
+  std::string dataset = "deeplearning";
+  std::vector<StrategyKind> strategies;
+  ProtocolOptions protocol;
+  bool csv = false;
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  args.protocol.num_reps = 20;
+  auto value_of = [](const char* arg, const char* flag) -> const char* {
+    const size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return arg + n + 1;
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (const char* v = value_of(a, "--dataset")) {
+      args.dataset = v;
+    } else if (const char* v2 = value_of(a, "--strategy")) {
+      EASEML_ASSIGN_OR_RETURN(StrategyKind kind, ParseStrategy(v2));
+      args.strategies.push_back(kind);
+    } else if (const char* v3 = value_of(a, "--reps")) {
+      args.protocol.num_reps = std::atoi(v3);
+    } else if (const char* v4 = value_of(a, "--test-users")) {
+      args.protocol.num_test_users = std::atoi(v4);
+    } else if (const char* v5 = value_of(a, "--budget")) {
+      args.protocol.budget_fraction = std::atof(v5);
+    } else if (std::strcmp(a, "--cost-aware") == 0) {
+      args.protocol.cost_aware_budget = true;
+      args.protocol.cost_aware_policy = true;
+    } else if (const char* v6 = value_of(a, "--seed")) {
+      args.protocol.seed = std::strtoull(v6, nullptr, 10);
+    } else if (std::strcmp(a, "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(a, "--help") == 0) {
+      return Status::InvalidArgument("help requested");
+    } else {
+      return Status::InvalidArgument(std::string("unknown flag: ") + a);
+    }
+  }
+  if (args.strategies.empty()) {
+    args.strategies = {StrategyKind::kEaseMl, StrategyKind::kRoundRobin,
+                       StrategyKind::kRandom};
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: easeml_campaign [--dataset=deeplearning|179classifier|"
+      "syn:SIGMA_M,ALPHA]\n"
+      "                       [--strategy=easeml|greedy|round-robin|random|"
+      "fcfs|most-cited|most-recent]...\n"
+      "                       [--reps=N] [--test-users=N] [--budget=F]\n"
+      "                       [--cost-aware] [--seed=N] [--csv]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  auto dataset = MakeDataset(args->dataset);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "dataset %s: %d users x %d models, %d reps, "
+               "budget %.0f%%%s\n",
+               dataset->name.c_str(), dataset->num_users(),
+               dataset->num_models(), args->protocol.num_reps,
+               args->protocol.budget_fraction * 100.0,
+               args->protocol.cost_aware_budget ? ", cost-aware" : "");
+
+  auto results = easeml::core::RunStrategies(*dataset, args->strategies,
+                                             args->protocol);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  if (args->csv) {
+    easeml::CsvWriter csv(std::cout,
+                          {"x", "strategy", "avg_loss", "worst_loss"});
+    for (const auto& r : *results) {
+      for (size_t i = 0; i < r.curves.grid.size(); ++i) {
+        (void)csv.WriteRow({easeml::Table::FormatDouble(r.curves.grid[i], 3),
+                            r.strategy_name,
+                            easeml::Table::FormatDouble(r.curves.mean[i], 6),
+                            easeml::Table::FormatDouble(r.curves.worst[i],
+                                                        6)});
+      }
+    }
+    return 0;
+  }
+  easeml::Table table({"strategy", "final_avg_loss", "final_worst_loss",
+                       "auc", "mean_regret", "mean_easeml_regret"});
+  for (const auto& r : *results) {
+    table.AddRow({r.strategy_name,
+                  easeml::Table::FormatDouble(r.curves.mean.back(), 5),
+                  easeml::Table::FormatDouble(r.curves.worst.back(), 5),
+                  easeml::Table::FormatDouble(r.mean_auc, 5),
+                  easeml::Table::FormatDouble(r.mean_cumulative_regret, 3),
+                  easeml::Table::FormatDouble(r.mean_easeml_regret, 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
