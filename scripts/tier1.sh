@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify loop (same commands as .github/workflows/ci.yml and
+# ROADMAP.md): configure, build, run every registered test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j

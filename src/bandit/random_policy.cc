@@ -18,6 +18,7 @@ Result<int> RandomPolicy::SelectArm(const std::vector<int>& available,
 }
 
 Status RandomPolicy::Update(int arm, double reward) {
+  (void)reward;
   if (arm < 0 || arm >= num_arms_) {
     return Status::OutOfRange("RandomPolicy::Update: arm out of range");
   }

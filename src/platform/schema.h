@@ -16,7 +16,8 @@ struct TensorShape {
   /// Total element count; 1 for rank-0.
   long long NumElements() const;
   std::string ToString() const;  // "Tensor[256,256,3]"
-  bool operator==(const TensorShape&) const = default;
+  bool operator==(const TensorShape& o) const { return dims == o.dims; }
+  bool operator!=(const TensorShape& o) const { return !(*this == o); }
 };
 
 /// A nonrecursive field: an optionally named constant-sized tensor
@@ -24,7 +25,10 @@ struct TensorShape {
 struct NonRecField {
   std::string name;  // may be empty (anonymous)
   TensorShape shape;
-  bool operator==(const NonRecField&) const = default;
+  bool operator==(const NonRecField& o) const {
+    return name == o.name && shape == o.shape;
+  }
+  bool operator!=(const NonRecField& o) const { return !(*this == o); }
 };
 
 /// A data type of the ease.ml DSL (Figure 2): a list of nonrecursive tensor
@@ -35,7 +39,10 @@ struct DataType {
   std::vector<std::string> rec_fields;
 
   std::string ToString() const;  // "{[Tensor[10]], [next]}"
-  bool operator==(const DataType&) const = default;
+  bool operator==(const DataType& o) const {
+    return nonrec_fields == o.nonrec_fields && rec_fields == o.rec_fields;
+  }
+  bool operator!=(const DataType& o) const { return !(*this == o); }
 };
 
 /// A user program: the high-level schema of a machine-learning task
@@ -45,7 +52,10 @@ struct Program {
   DataType output;
 
   std::string ToString() const;
-  bool operator==(const Program&) const = default;
+  bool operator==(const Program& o) const {
+    return input == o.input && output == o.output;
+  }
+  bool operator!=(const Program& o) const { return !(*this == o); }
 
   /// Structural checks: positive tensor dims, valid field names
   /// ([a-z0-9_]*), no duplicate recursive field names.

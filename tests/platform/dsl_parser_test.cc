@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+
 namespace easeml::platform {
 namespace {
 
@@ -92,7 +95,16 @@ INSTANTIATE_TEST_SUITE_P(
                  "{[Tensor[3]], []}}",
                  "dimension overflow"},
         BadInput{"{input: {[], []}, output: {[Tensor[3]], []}}",
-                 "no fields on input"}));
+                 "no fields on input"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      // Name tests after the rejection reason; the default printer would
+      // hex-dump the struct (pointers included), making names unstable.
+      std::string name = info.param.why;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
 
 TEST(DslParserTest, ErrorMessagesCarryOffset) {
   auto p = ParseProgram("{input: ???");
