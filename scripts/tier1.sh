@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 verify loop (same commands as .github/workflows/ci.yml and
 # ROADMAP.md): configure, build, run every registered test.
+#
+# Usage: scripts/tier1.sh [BUILD_TYPE]
+#   BUILD_TYPE defaults to RelWithDebInfo (the historical tier-1 loop).
+#   Pass Release to exercise the -O2 leg CI runs on every PR; non-default
+#   build types use their own build directory (build-<type>) so the two
+#   configurations never clobber each other.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j
-cd build && ctest --output-on-failure -j
+BUILD_TYPE="${1:-RelWithDebInfo}"
+BUILD_DIR="build"
+if [[ "${BUILD_TYPE}" != "RelWithDebInfo" ]]; then
+  BUILD_DIR="build-$(echo "${BUILD_TYPE}" | tr '[:upper:]' '[:lower:]')"
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+cmake --build "${BUILD_DIR}" -j
+cd "${BUILD_DIR}" && ctest --output-on-failure -j

@@ -2,6 +2,22 @@
 
 namespace easeml::bandit {
 
+double BanditPolicy::Mean(int arm) const {
+  (void)arm;
+  return 0.0;
+}
+
+double BanditPolicy::StdDev(int arm) const {
+  (void)arm;
+  return 0.0;
+}
+
+double BanditPolicy::Ucb(int arm, int t) const {
+  (void)arm;
+  (void)t;
+  return 1.0;
+}
+
 Status BanditPolicy::ValidateAvailable(
     const std::vector<int>& available) const {
   if (available.empty()) {

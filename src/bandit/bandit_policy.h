@@ -35,6 +35,27 @@ class BanditPolicy {
   /// Policy name for reports (e.g. "gp-ucb").
   virtual std::string name() const = 0;
 
+  // --- Diagnostics surface -------------------------------------------------
+  //
+  // The multi-tenant schedulers (GREEDY's candidate set, HYBRID's greedy
+  // phase, UserState's sigma~ recurrence) read per-arm confidence bounds
+  // from the tenant's policy. Belief-backed policies (GP-UCB) override
+  // these; heuristic baselines inherit the trivially correct defaults —
+  // accuracies live in [0, 1], so 1 is always a valid upper bound.
+
+  /// True when the policy maintains a posterior belief whose confidence
+  /// bounds are informative (required by GREEDY/HYBRID scheduling).
+  virtual bool HasConfidenceBounds() const { return false; }
+
+  /// Posterior mean estimate of `arm`; 0 without a belief.
+  virtual double Mean(int arm) const;
+
+  /// Posterior standard deviation of `arm`; 0 without a belief.
+  virtual double StdDev(int arm) const;
+
+  /// Upper confidence bound B_t(arm) at round `t`; 1 without a belief.
+  virtual double Ucb(int arm, int t) const;
+
  protected:
   /// Shared argument validation for SelectArm implementations.
   Status ValidateAvailable(const std::vector<int>& available) const;

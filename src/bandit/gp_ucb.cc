@@ -1,6 +1,8 @@
 #include "bandit/gp_ucb.h"
 
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -10,7 +12,8 @@ namespace {
 constexpr double kPiSquaredOverSix = 1.6449340668482264;
 }  // namespace
 
-GpUcbPolicy::GpUcbPolicy(gp::DiscreteArmGp belief, GpUcbOptions options)
+GpUcbPolicy::GpUcbPolicy(std::unique_ptr<gp::ArmBelief> belief,
+                         GpUcbOptions options)
     : belief_(std::move(belief)), options_(std::move(options)) {
   if (!options_.costs.empty()) {
     max_cost_ = options_.costs[0];
@@ -18,13 +21,16 @@ GpUcbPolicy::GpUcbPolicy(gp::DiscreteArmGp belief, GpUcbOptions options)
   }
 }
 
-Result<GpUcbPolicy> GpUcbPolicy::Create(gp::DiscreteArmGp belief,
+Result<GpUcbPolicy> GpUcbPolicy::Create(std::unique_ptr<gp::ArmBelief> belief,
                                         GpUcbOptions options) {
+  if (belief == nullptr) {
+    return Status::InvalidArgument("GpUcb: null belief");
+  }
   if (options.delta <= 0.0 || options.delta >= 1.0) {
     return Status::InvalidArgument("GpUcb: delta must be in (0, 1)");
   }
   if (options.cost_aware) {
-    if (static_cast<int>(options.costs.size()) != belief.num_arms()) {
+    if (static_cast<int>(options.costs.size()) != belief->num_arms()) {
       return Status::InvalidArgument(
           "GpUcb: cost-aware mode needs one cost per arm");
     }
@@ -37,11 +43,23 @@ Result<GpUcbPolicy> GpUcbPolicy::Create(gp::DiscreteArmGp belief,
   return GpUcbPolicy(std::move(belief), std::move(options));
 }
 
+Result<GpUcbPolicy> GpUcbPolicy::Create(gp::DiscreteArmGp belief,
+                                        GpUcbOptions options) {
+  return Create(std::make_unique<gp::DiscreteArmGp>(std::move(belief)),
+                std::move(options));
+}
+
 Result<std::unique_ptr<GpUcbPolicy>> GpUcbPolicy::CreateUnique(
-    gp::DiscreteArmGp belief, GpUcbOptions options) {
+    std::unique_ptr<gp::ArmBelief> belief, GpUcbOptions options) {
   EASEML_ASSIGN_OR_RETURN(GpUcbPolicy policy,
                           Create(std::move(belief), std::move(options)));
   return std::make_unique<GpUcbPolicy>(std::move(policy));
+}
+
+Result<std::unique_ptr<GpUcbPolicy>> GpUcbPolicy::CreateUnique(
+    gp::DiscreteArmGp belief, GpUcbOptions options) {
+  return CreateUnique(std::make_unique<gp::DiscreteArmGp>(std::move(belief)),
+                      std::move(options));
 }
 
 double GpUcbPolicy::Beta(int t) const {
@@ -64,29 +82,39 @@ double GpUcbPolicy::ArmCost(int arm) const {
   return options_.costs[arm];
 }
 
-double GpUcbPolicy::Ucb(int arm, int t) const {
-  double beta = Beta(t);
+double GpUcbPolicy::UcbFromMarginals(int arm, double beta, double mean,
+                                     double variance) const {
   if (options_.cost_aware) beta /= ArmCost(arm);
-  return belief_.Mean(arm) + std::sqrt(beta) * belief_.StdDev(arm);
+  return mean + std::sqrt(beta) * std::sqrt(std::max(0.0, variance));
+}
+
+double GpUcbPolicy::Ucb(int arm, int t) const {
+  return UcbFromMarginals(arm, Beta(t), belief_->Mean(arm),
+                          belief_->Variance(arm));
 }
 
 Result<int> GpUcbPolicy::SelectArm(const std::vector<int>& available, int t) {
   EASEML_RETURN_NOT_OK(ValidateAvailable(available));
   if (t < 1) return Status::InvalidArgument("SelectArm: t must be >= 1");
+  // One batched marginal read instead of K scalar posterior queries — the
+  // shared-prior representation serves this with a single cached summary.
+  const gp::PosteriorSummary summary = belief_->AllMarginals();
+  const double beta = Beta(t);
   int best = available[0];
-  double best_ucb = Ucb(best, t);
-  for (size_t i = 1; i < available.size(); ++i) {
-    const double u = Ucb(available[i], t);
+  double best_ucb = -std::numeric_limits<double>::infinity();
+  for (int arm : available) {
+    const double u =
+        UcbFromMarginals(arm, beta, summary.mean[arm], summary.variance[arm]);
     if (u > best_ucb) {
       best_ucb = u;
-      best = available[i];
+      best = arm;
     }
   }
   return best;
 }
 
 Status GpUcbPolicy::Update(int arm, double reward) {
-  return belief_.Observe(arm, reward);
+  return belief_->Observe(arm, reward);
 }
 
 std::string GpUcbPolicy::name() const {

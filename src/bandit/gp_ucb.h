@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bandit/bandit_policy.h"
+#include "gp/arm_belief.h"
 #include "gp/gaussian_process.h"
 
 namespace easeml::bandit {
@@ -29,22 +30,31 @@ struct GpUcbOptions {
 
 /// GP-UCB arm selection (Algorithm 1) with the optional cost-aware twist.
 ///
-/// Keeps a `gp::DiscreteArmGp` belief; at round t picks
+/// Works against any `gp::ArmBelief` — the dense `DiscreteArmGp` or the
+/// multi-tenant `SharedPriorGp`. At round t it reads the batched posterior
+/// summary once and picks
 ///   argmax_k mu_{t-1}(k) + sqrt(beta_t [/ c_k]) sigma_{t-1}(k)
 /// over the available arms. Exposes the ingredients (mean, stddev, beta,
 /// UCB) that the multi-tenant GREEDY scheduler needs for its user-picking
-/// phase.
+/// phase via the `BanditPolicy` diagnostics surface.
 class GpUcbPolicy : public BanditPolicy {
  public:
-  /// Validates options against the GP dimension.
+  /// Validates options against the belief dimension. `belief` must be
+  /// non-null.
+  static Result<GpUcbPolicy> Create(std::unique_ptr<gp::ArmBelief> belief,
+                                    GpUcbOptions options);
+
+  /// Convenience for the dense representation (wraps it on the heap).
   static Result<GpUcbPolicy> Create(gp::DiscreteArmGp belief,
                                     GpUcbOptions options);
 
-  /// Convenience: heap-allocated variant for polymorphic containers.
+  /// Convenience: heap-allocated variants for polymorphic containers.
+  static Result<std::unique_ptr<GpUcbPolicy>> CreateUnique(
+      std::unique_ptr<gp::ArmBelief> belief, GpUcbOptions options);
   static Result<std::unique_ptr<GpUcbPolicy>> CreateUnique(
       gp::DiscreteArmGp belief, GpUcbOptions options);
 
-  int num_arms() const override { return belief_.num_arms(); }
+  int num_arms() const override { return belief_->num_arms(); }
   Result<int> SelectArm(const std::vector<int>& available, int t) override;
   Status Update(int arm, double reward) override;
   std::string name() const override;
@@ -52,22 +62,29 @@ class GpUcbPolicy : public BanditPolicy {
   /// beta_t per the configured schedule. Precondition: t >= 1.
   double Beta(int t) const;
 
+  /// Diagnostics surface (scheduler-facing).
+  bool HasConfidenceBounds() const override { return true; }
+  double Mean(int arm) const override { return belief_->Mean(arm); }
+  double StdDev(int arm) const override { return belief_->StdDev(arm); }
   /// Upper confidence bound B_t(k) = mu(k) + sqrt(beta_t [/ c_k]) sigma(k).
-  double Ucb(int arm, int t) const;
-
-  /// Posterior marginals.
-  double Mean(int arm) const { return belief_.Mean(arm); }
-  double StdDev(int arm) const { return belief_.StdDev(arm); }
+  double Ucb(int arm, int t) const override;
 
   double ArmCost(int arm) const;
 
-  const gp::DiscreteArmGp& belief() const { return belief_; }
+  const gp::ArmBelief& belief() const { return *belief_; }
   const GpUcbOptions& options() const { return options_; }
 
  private:
-  GpUcbPolicy(gp::DiscreteArmGp belief, GpUcbOptions options);
+  GpUcbPolicy(std::unique_ptr<gp::ArmBelief> belief, GpUcbOptions options);
 
-  gp::DiscreteArmGp belief_;
+  /// The one place the selection index is computed: B(arm) =
+  /// mean + sqrt(beta [/ c_arm]) * sqrt(max(0, variance)). Both the batched
+  /// SelectArm loop and the scalar Ucb diagnostic delegate here so the two
+  /// paths cannot drift apart.
+  double UcbFromMarginals(int arm, double beta, double mean,
+                          double variance) const;
+
+  std::unique_ptr<gp::ArmBelief> belief_;
   GpUcbOptions options_;
   double max_cost_ = 1.0;  // c* for the theoretical beta schedule
 };

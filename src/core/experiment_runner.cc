@@ -6,6 +6,7 @@
 #include "bandit/fixed_order.h"
 #include "bandit/gp_ucb.h"
 #include "common/rng.h"
+#include "gp/shared_prior_gp.h"
 #include "data/model_features.h"
 #include "data/splits.h"
 #include "scheduler/fcfs.h"
@@ -164,9 +165,10 @@ Result<StrategyResult> RunProtocol(const data::Dataset& dataset,
         data::SubsampleIndices(split.train_users,
                                options.kernel_train_fraction, rng));
 
-    // GP prior from the training logs.
-    linalg::Matrix gram;
-    std::vector<double> prior_mean;
+    // GP prior from the training logs: one immutable Gram matrix shared by
+    // every test user of this repetition (tenants hold only O(K + tK)
+    // observation state on top of it).
+    std::shared_ptr<const gp::SharedGpPrior> shared_prior;
     if (UsesGpUcb(strategy)) {
       EASEML_ASSIGN_OR_RETURN(
           auto features, data::ComputeModelFeatures(dataset, kernel_users));
@@ -176,10 +178,15 @@ Result<StrategyResult> RunProtocol(const data::Dataset& dataset,
       EASEML_ASSIGN_OR_RETURN(
           double global_mean,
           data::ComputeGlobalMeanQuality(dataset, kernel_users));
-      prior_mean.assign(dataset.num_models(), global_mean);
+      std::vector<double> prior_mean(dataset.num_models(), global_mean);
       std::unique_ptr<gp::Kernel> kernel = hp.MakeKernel();
-      EASEML_ASSIGN_OR_RETURN(gram, kernel->BuildGram(features));
+      EASEML_ASSIGN_OR_RETURN(linalg::Matrix gram,
+                              kernel->BuildGram(features));
       gram.AddToDiagonal(1e-8);  // numerical jitter
+      EASEML_ASSIGN_OR_RETURN(
+          shared_prior,
+          gp::MakeSharedGpPrior(std::move(gram), hp.noise_variance,
+                                std::move(prior_mean)));
     }
 
     EASEML_ASSIGN_OR_RETURN(data::Dataset test_ds,
@@ -195,9 +202,8 @@ Result<StrategyResult> RunProtocol(const data::Dataset& dataset,
       std::vector<double> costs = env.CostsForUser(i);
       std::unique_ptr<bandit::BanditPolicy> policy;
       if (UsesGpUcb(strategy)) {
-        EASEML_ASSIGN_OR_RETURN(
-            gp::DiscreteArmGp belief,
-            gp::DiscreteArmGp::Create(gram, hp.noise_variance, prior_mean));
+        EASEML_ASSIGN_OR_RETURN(std::unique_ptr<gp::SharedPriorGp> belief,
+                                gp::SharedPriorGp::CreateUnique(shared_prior));
         bandit::GpUcbOptions ucb;
         ucb.delta = options.delta;
         ucb.theoretical_beta = options.theoretical_beta;

@@ -1,5 +1,6 @@
 #include "core/multi_tenant_selector.h"
 
+#include "bandit/gp_ucb.h"
 #include "scheduler/fcfs.h"
 #include "scheduler/greedy.h"
 #include "scheduler/hybrid.h"
@@ -59,8 +60,8 @@ Result<MultiTenantSelector> MultiTenantSelector::Create(
   return MultiTenantSelector(options, std::move(sched));
 }
 
-Result<int> MultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
-                                           std::vector<double> costs) {
+Result<int> MultiTenantSelector::AddTenantWithBelief(
+    std::unique_ptr<gp::ArmBelief> belief, std::vector<double> costs) {
   bandit::GpUcbOptions ucb;
   ucb.delta = options_.delta;
   ucb.cost_aware = options_.cost_aware;
@@ -77,16 +78,38 @@ Result<int> MultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
   return id;
 }
 
+Result<int> MultiTenantSelector::AddTenant(
+    std::shared_ptr<const gp::SharedGpPrior> prior,
+    std::vector<double> costs) {
+  EASEML_ASSIGN_OR_RETURN(std::unique_ptr<gp::SharedPriorGp> belief,
+                          gp::SharedPriorGp::CreateUnique(std::move(prior)));
+  return AddTenantWithBelief(std::move(belief), std::move(costs));
+}
+
+Result<int> MultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
+                                           std::vector<double> costs) {
+  return AddTenantWithBelief(
+      std::make_unique<gp::DiscreteArmGp>(std::move(belief)),
+      std::move(costs));
+}
+
 Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
     int num_models, std::vector<double> costs, double noise_variance) {
   if (num_models <= 0) {
     return Status::InvalidArgument("AddTenant: num_models must be > 0");
   }
-  EASEML_ASSIGN_OR_RETURN(
-      gp::DiscreteArmGp belief,
-      gp::DiscreteArmGp::Create(linalg::Matrix::Identity(num_models),
-                                noise_variance));
-  return AddTenant(std::move(belief), std::move(costs));
+  // Validate before touching the cache: a NaN key would break the map's
+  // ordering invariant.
+  if (!(noise_variance > 0.0)) {
+    return Status::InvalidArgument("AddTenant: noise variance must be > 0");
+  }
+  auto& prior = default_priors_[{num_models, noise_variance}];
+  if (prior == nullptr) {
+    EASEML_ASSIGN_OR_RETURN(
+        prior, gp::MakeSharedGpPrior(linalg::Matrix::Identity(num_models),
+                                     noise_variance));
+  }
+  return AddTenant(prior, std::move(costs));
 }
 
 bool MultiTenantSelector::Exhausted() const {

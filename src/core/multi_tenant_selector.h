@@ -1,12 +1,15 @@
 #ifndef EASEML_CORE_MULTI_TENANT_SELECTOR_H_
 #define EASEML_CORE_MULTI_TENANT_SELECTOR_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "gp/gaussian_process.h"
+#include "gp/shared_prior_gp.h"
 #include "scheduler/scheduler_policy.h"
 
 namespace easeml::core {
@@ -45,13 +48,18 @@ struct SelectorOptions {
 /// The caller owns the actual training substrate. Usage:
 ///
 ///   auto selector = MultiTenantSelector::Create(options).value();
-///   int alice = selector.AddTenant(belief_a, costs_a).value();
-///   int bob   = selector.AddTenant(belief_b, costs_b).value();
+///   auto prior = gp::MakeSharedGpPrior(gram, noise).value();  // once
+///   int alice = selector.AddTenant(prior, costs_a).value();
+///   int bob   = selector.AddTenant(prior, costs_b).value();
 ///   while (!selector.Exhausted()) {
 ///     auto a = selector.Next().value();        // which (tenant, model) to train
 ///     double acc = TrainAndEvaluate(a.tenant, a.model);
 ///     selector.Report(a, acc);                 // feed the result back
 ///   }
+///
+/// All tenants registered with the same `SharedGpPrior` share one immutable
+/// Gram matrix; each keeps only its O(K + tK) observation state, so tenant
+/// count scales independently of K^2.
 ///
 /// The selector serves one training job at a time (the paper's single-device
 /// resource model: "the current execution strategy of ease.ml is to use all
@@ -67,13 +75,21 @@ class MultiTenantSelector {
 
   static Result<MultiTenantSelector> Create(const SelectorOptions& options);
 
-  /// Registers a tenant whose candidate models carry the given GP prior
-  /// belief and per-model costs (one positive cost per arm). Returns the
+  /// Registers a tenant against a shared GP prior (the preferred path: the
+  /// Gram matrix is allocated once and shared by every tenant created from
+  /// it) with per-model costs (one positive cost per arm). Returns the
   /// tenant id.
+  Result<int> AddTenant(std::shared_ptr<const gp::SharedGpPrior> prior,
+                        std::vector<double> costs);
+
+  /// Registers a tenant with a private dense belief (O(K^2) state; kept for
+  /// callers that need a tenant-specific prior covariance).
   Result<int> AddTenant(gp::DiscreteArmGp belief, std::vector<double> costs);
 
   /// Registers a tenant with an uninformative independent prior
-  /// (unit-variance diagonal) — used when no training logs exist yet.
+  /// (unit-variance diagonal) — used when no training logs exist yet. The
+  /// default prior is built once per (num_models, noise_variance) and
+  /// shared across all tenants of this selector.
   Result<int> AddTenantWithDefaultPrior(int num_models,
                                         std::vector<double> costs,
                                         double noise_variance = 1e-2);
@@ -111,10 +127,15 @@ class MultiTenantSelector {
       : options_(options), scheduler_(std::move(s)) {}
 
   Status ValidateTenant(int tenant) const;
+  Result<int> AddTenantWithBelief(std::unique_ptr<gp::ArmBelief> belief,
+                                  std::vector<double> costs);
 
   SelectorOptions options_;
   std::unique_ptr<scheduler::SchedulerPolicy> scheduler_;
   std::vector<scheduler::UserState> users_;
+  /// Default priors, shared across tenants, keyed by (K, noise variance).
+  std::map<std::pair<int, double>, std::shared_ptr<const gp::SharedGpPrior>>
+      default_priors_;
   std::vector<int> best_model_;  // -1 until first report
   Assignment pending_;
   bool has_pending_ = false;

@@ -53,7 +53,18 @@ double DiscreteArmGp::Variance(int k) const {
   return std::max(0.0, cov_(k, k));
 }
 
-double DiscreteArmGp::StdDev(int k) const { return std::sqrt(Variance(k)); }
+PosteriorSummary DiscreteArmGp::AllMarginals() const {
+  PosteriorSummary out;
+  out.mean = mean_;
+  out.variance.resize(mean_.size());
+  for (int k = 0; k < num_arms(); ++k) out.variance[k] = Variance(k);
+  return out;
+}
+
+size_t DiscreteArmGp::ApproxMemoryBytes() const {
+  return sizeof(double) * (prior_cov_.data().size() + cov_.data().size() +
+                           prior_mean_.size() + mean_.size());
+}
 
 Status DiscreteArmGp::Observe(int arm, double y) {
   if (arm < 0 || arm >= num_arms()) {

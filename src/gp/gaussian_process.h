@@ -4,16 +4,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "gp/arm_belief.h"
 #include "linalg/matrix.h"
 
 namespace easeml::gp {
-
-/// Posterior mean/variance over all arms, as produced by the batch reference
-/// implementation (Algorithm 1, lines 6-7 of the paper).
-struct PosteriorSummary {
-  std::vector<double> mean;
-  std::vector<double> variance;
-};
 
 /// Gaussian-process belief over the rewards of K discrete arms (models).
 ///
@@ -29,7 +23,7 @@ struct PosteriorSummary {
 /// posterior in Algorithm 1 (verified by property tests against
 /// `BatchPosterior`), but supports the per-step access pattern of GP-UCB
 /// without refactorizing the covariance.
-class DiscreteArmGp {
+class DiscreteArmGp : public ArmBelief {
  public:
   /// Creates the belief. `prior_cov` must be a symmetric K x K matrix and
   /// `noise_variance` strictly positive. `prior_mean` defaults to zero.
@@ -37,14 +31,16 @@ class DiscreteArmGp {
                                       double noise_variance,
                                       std::vector<double> prior_mean = {});
 
-  int num_arms() const { return static_cast<int>(mean_.size()); }
-  int num_observations() const { return num_observations_; }
-  double noise_variance() const { return noise_variance_; }
+  int num_arms() const override { return static_cast<int>(mean_.size()); }
+  int num_observations() const override { return num_observations_; }
+  double noise_variance() const override { return noise_variance_; }
 
   /// Posterior marginals of arm k.
-  double Mean(int k) const { return mean_[k]; }
-  double Variance(int k) const;
-  double StdDev(int k) const;
+  double Mean(int k) const override { return mean_[k]; }
+  double Variance(int k) const override;
+
+  /// Marginals of all arms, read off the dense posterior state.
+  PosteriorSummary AllMarginals() const override;
 
   /// Full posterior mean / covariance access (used by tests and by the
   /// hybrid scheduler's diagnostics).
@@ -52,10 +48,14 @@ class DiscreteArmGp {
   const linalg::Matrix& covariance() const { return cov_; }
 
   /// Conditions the belief on one observation `y` of arm `arm`.
-  Status Observe(int arm, double y);
+  Status Observe(int arm, double y) override;
 
   /// Resets to the prior belief.
-  void Reset();
+  void Reset() override;
+
+  /// Two K x K matrices plus the mean vectors — the O(K^2) footprint the
+  /// shared-prior representation exists to avoid.
+  size_t ApproxMemoryBytes() const override;
 
   /// Batch posterior per Algorithm 1 (lines 6-7):
   ///   mu_t(k)    = S_t(k)^T (S_t + s^2 I)^{-1} y_{1:t}

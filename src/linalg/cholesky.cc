@@ -80,6 +80,42 @@ std::vector<double> Cholesky::Solve(const std::vector<double>& rhs) const {
   return SolveUpper(SolveLower(rhs));
 }
 
+Matrix Cholesky::SolveLower(const Matrix& rhs) const {
+  EASEML_CHECK(rhs.rows() == dim_);
+  const int m = rhs.cols();
+  Matrix y = rhs;
+  for (int i = 0; i < dim_; ++i) {
+    for (int j = 0; j < i; ++j) {
+      const double lij = l_[Index(i, j)];
+      if (lij == 0.0) continue;
+      for (int c = 0; c < m; ++c) y(i, c) -= lij * y(j, c);
+    }
+    const double inv = 1.0 / l_[Index(i, i)];
+    for (int c = 0; c < m; ++c) y(i, c) *= inv;
+  }
+  return y;
+}
+
+Matrix Cholesky::SolveLowerTranspose(const Matrix& rhs) const {
+  EASEML_CHECK(rhs.rows() == dim_);
+  const int m = rhs.cols();
+  Matrix x = rhs;
+  for (int i = dim_ - 1; i >= 0; --i) {
+    for (int j = i + 1; j < dim_; ++j) {
+      const double lji = l_[Index(j, i)];
+      if (lji == 0.0) continue;
+      for (int c = 0; c < m; ++c) x(i, c) -= lji * x(j, c);
+    }
+    const double inv = 1.0 / l_[Index(i, i)];
+    for (int c = 0; c < m; ++c) x(i, c) *= inv;
+  }
+  return x;
+}
+
+Matrix Cholesky::Solve(const Matrix& rhs) const {
+  return SolveLowerTranspose(SolveLower(rhs));
+}
+
 double Cholesky::LogDet() const {
   double acc = 0.0;
   for (int i = 0; i < dim_; ++i) acc += std::log(l_[Index(i, i)]);

@@ -1,5 +1,6 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <limits>
@@ -50,6 +51,30 @@ std::vector<double> Matrix::Col(int c) const {
   EASEML_DCHECK(c >= 0 && c < cols_);
   std::vector<double> out(rows_);
   for (int r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<int>& rows) const {
+  Matrix out(static_cast<int>(rows.size()), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int r = rows[i];
+    EASEML_DCHECK(r >= 0 && r < rows_);
+    std::copy(data_.begin() + static_cast<size_t>(r) * cols_,
+              data_.begin() + static_cast<size_t>(r + 1) * cols_,
+              out.data_.begin() + i * cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::GatherCols(const std::vector<int>& cols) const {
+  Matrix out(rows_, static_cast<int>(cols.size()));
+  for (int r = 0; r < rows_; ++r) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      const int c = cols[j];
+      EASEML_DCHECK(c >= 0 && c < cols_);
+      out(r, static_cast<int>(j)) = (*this)(r, c);
+    }
+  }
   return out;
 }
 

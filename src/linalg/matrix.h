@@ -49,6 +49,14 @@ class Matrix {
   /// Returns the c-th column as a vector.
   std::vector<double> Col(int c) const;
 
+  /// Gathers the given rows (with multiplicity, any order) into a new
+  /// rows.size() x cols() matrix. Precondition: indices in [0, rows()).
+  Matrix GatherRows(const std::vector<int>& rows) const;
+
+  /// Gathers the given columns into a new rows() x cols.size() matrix.
+  /// Precondition: indices in [0, cols()).
+  Matrix GatherCols(const std::vector<int>& cols) const;
+
   /// this + other. Precondition: same shape.
   Matrix Add(const Matrix& other) const;
 

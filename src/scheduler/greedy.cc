@@ -53,10 +53,10 @@ Result<int> GreedyScheduler::PickUser(const std::vector<UserState>& users,
                                       int round) {
   (void)round;
   for (const auto& u : users) {
-    if (u.gp_policy() == nullptr) {
+    if (!u.policy().HasConfidenceBounds()) {
       return Status::FailedPrecondition(
           "Greedy: user " + std::to_string(u.user_id()) +
-          " does not run GP-UCB");
+          " does not run a belief-backed policy (GP-UCB)");
     }
   }
   const std::vector<int> candidates = ComputeCandidateSet(users);

@@ -10,9 +10,7 @@ UserState::UserState(int user_id,
     : user_id_(user_id),
       policy_(std::move(policy)),
       costs_(std::move(costs)),
-      played_(costs_.size(), false) {
-  gp_view_ = dynamic_cast<bandit::GpUcbPolicy*>(policy_.get());
-}
+      played_(costs_.size(), false) {}
 
 Result<UserState> UserState::Create(
     int user_id, std::unique_ptr<bandit::BanditPolicy> policy,
@@ -51,9 +49,9 @@ Result<int> UserState::SelectArm() {
   const int t = rounds_served_ + 1;
   EASEML_ASSIGN_OR_RETURN(int arm, policy_->SelectArm(AvailableArms(), t));
   pending_arm_ = arm;
-  // Capture B_t(a_t) for the sigma~ recurrence. Non-GP policies have no
-  // confidence bound; use the trivially correct bound of 1 (max accuracy).
-  pending_ucb_ = gp_view_ != nullptr ? gp_view_->Ucb(arm, t) : 1.0;
+  // Capture B_t(a_t) for the sigma~ recurrence. Policies without a belief
+  // report the trivially correct bound of 1 (max accuracy).
+  pending_ucb_ = policy_->Ucb(arm, t);
   return arm;
 }
 
@@ -89,8 +87,7 @@ double UserState::MaxUcb() const {
   double best = -std::numeric_limits<double>::infinity();
   for (int a = 0; a < num_models(); ++a) {
     if (played_[a]) continue;
-    const double u = gp_view_ != nullptr ? gp_view_->Ucb(a, t) : 1.0;
-    best = std::max(best, u);
+    best = std::max(best, policy_->Ucb(a, t));
   }
   return best;
 }

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "bandit/bandit_policy.h"
-#include "bandit/gp_ucb.h"
 #include "common/status.h"
 
 namespace easeml::scheduler {
@@ -79,7 +78,8 @@ class UserState {
   Status RecordOutcome(int arm, double reward);
 
   /// Largest upper confidence bound over the remaining arms at the current
-  /// local round; -infinity when exhausted. Requires a GP-UCB policy.
+  /// local round, read from the policy's diagnostics surface; -infinity
+  /// when exhausted.
   double MaxUcb() const;
 
   /// ease.ml's line-8 rule ingredient: gap between the largest UCB and the
@@ -87,10 +87,6 @@ class UserState {
   double UcbGap() const { return MaxUcb() - best_reward_; }
 
   const bandit::BanditPolicy& policy() const { return *policy_; }
-
-  /// The GP-UCB view of the policy; nullptr for non-GP policies (heuristic
-  /// baselines). The GREEDY scheduler requires a non-null view.
-  const bandit::GpUcbPolicy* gp_policy() const { return gp_view_; }
 
   double ArmCost(int arm) const { return costs_[arm]; }
 
@@ -100,7 +96,6 @@ class UserState {
 
   int user_id_;
   std::unique_ptr<bandit::BanditPolicy> policy_;
-  bandit::GpUcbPolicy* gp_view_ = nullptr;  // non-owning
   std::vector<double> costs_;
   std::vector<bool> played_;
   int num_played_ = 0;

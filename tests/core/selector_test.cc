@@ -51,6 +51,30 @@ TEST(SelectorTest, AddTenantValidation) {
   EXPECT_EQ(s.num_tenants(), 1);
 }
 
+TEST(SelectorTest, SharedPriorTenantsRunFullCampaign) {
+  auto s = MakeSelector(SchedulerKind::kGreedy, /*cost_aware=*/true);
+  auto prior = gp::MakeSharedGpPrior(linalg::Matrix::Identity(3), 1e-2);
+  ASSERT_TRUE(prior.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.AddTenant(*prior, {1.0, 2.0, 3.0}).ok());
+  }
+  // All three tenants reference the same Gram matrix allocation.
+  EXPECT_EQ(prior->use_count(), 4);
+  int steps = 0;
+  while (!s.Exhausted()) {
+    auto a = s.Next();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(s.Report(*a, 0.4 + 0.1 * a->model).ok());
+    ASSERT_LT(++steps, 100);
+  }
+  EXPECT_EQ(steps, 9);
+  for (int i = 0; i < 3; ++i) {
+    auto best = s.BestModel(i);
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(*best, 2);  // accuracy increases with the model index
+  }
+}
+
 TEST(SelectorTest, NextReportLoopDrivesAllModels) {
   auto s = MakeSelector();
   ASSERT_TRUE(s.AddTenantWithDefaultPrior(3, {1, 1, 1}).ok());

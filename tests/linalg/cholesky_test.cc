@@ -42,6 +42,41 @@ TEST(CholeskyTest, ReconstructRoundTrips) {
   }
 }
 
+TEST(CholeskyTest, MultiRhsSolveLowerMatchesColumnwise) {
+  easeml::Rng rng(7);
+  for (int n : {1, 3, 8}) {
+    Matrix a = RandomSpd(n, rng);
+    auto chol = Cholesky::Compute(a);
+    ASSERT_TRUE(chol.ok());
+    const int m = 5;
+    Matrix rhs(n, m);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) rhs(i, j) = rng.Normal();
+    }
+    const Matrix y = chol->SolveLower(rhs);
+    const Matrix x = chol->SolveLowerTranspose(rhs);
+    for (int j = 0; j < m; ++j) {
+      const std::vector<double> y_col = chol->SolveLower(rhs.Col(j));
+      const std::vector<double> x_col = chol->SolveUpper(rhs.Col(j));
+      for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(y(i, j), y_col[i], 1e-12) << "n=" << n;
+        EXPECT_NEAR(x(i, j), x_col[i], 1e-12) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, MultiRhsFullSolveInvertsMatrix) {
+  easeml::Rng rng(11);
+  const int n = 6;
+  Matrix a = RandomSpd(n, rng);
+  auto chol = Cholesky::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  // Solving A X = A must give the identity.
+  const Matrix x = chol->Solve(a);
+  EXPECT_LT(x.MaxAbsDiff(Matrix::Identity(n)), 1e-9);
+}
+
 TEST(CholeskyTest, RejectsNonSquare) {
   EXPECT_FALSE(Cholesky::Compute(Matrix(2, 3)).ok());
 }

@@ -55,6 +55,26 @@ TEST(MatrixTest, RowAndCol) {
   EXPECT_EQ(m.Col(2), (std::vector<double>{3, 6}));
 }
 
+TEST(MatrixTest, GatherRowsWithRepeatsAndReorder) {
+  Matrix m = *Matrix::FromRowMajor(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix g = m.GatherRows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.cols(), 2);
+  EXPECT_EQ(g.Row(0), (std::vector<double>{5, 6}));
+  EXPECT_EQ(g.Row(1), (std::vector<double>{1, 2}));
+  EXPECT_EQ(g.Row(2), (std::vector<double>{5, 6}));
+  EXPECT_TRUE(m.GatherRows({}).empty());
+}
+
+TEST(MatrixTest, GatherColsWithRepeatsAndReorder) {
+  Matrix m = *Matrix::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix g = m.GatherCols({1, 1, 0});
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_EQ(g.cols(), 3);
+  EXPECT_EQ(g.Row(0), (std::vector<double>{2, 2, 1}));
+  EXPECT_EQ(g.Row(1), (std::vector<double>{5, 5, 4}));
+}
+
 TEST(MatrixTest, AddSubScale) {
   Matrix a = *Matrix::FromRowMajor(2, 2, {1, 2, 3, 4});
   Matrix b = *Matrix::FromRowMajor(2, 2, {4, 3, 2, 1});

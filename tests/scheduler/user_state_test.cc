@@ -47,7 +47,7 @@ TEST(UserStateTest, InitialState) {
   EXPECT_DOUBLE_EQ(u.best_reward(), 0.0);
   EXPECT_TRUE(std::isinf(u.empirical_bound()));
   EXPECT_EQ(u.AvailableArms(), (std::vector<int>{0, 1, 2, 3}));
-  EXPECT_NE(u.gp_policy(), nullptr);
+  EXPECT_TRUE(u.policy().HasConfidenceBounds());
 }
 
 TEST(UserStateTest, SelectRecordProtocol) {
@@ -102,7 +102,7 @@ TEST(UserStateTest, EmpiricalBoundRecurrence) {
   UserState u = std::move(state).value();
   auto arm = u.SelectArm();
   ASSERT_TRUE(arm.ok());
-  const double pending_ucb = u.gp_policy()->Ucb(0, 1);
+  const double pending_ucb = u.policy().Ucb(0, 1);
   ASSERT_TRUE(u.RecordOutcome(0, 0.55).ok());
   // sigma~ = min(B_1(a_1), +inf) - y_1.
   EXPECT_NEAR(u.empirical_bound(), pending_ucb - 0.55, 1e-12);
@@ -138,12 +138,12 @@ TEST(UserStateTest, MaxUcbOverAvailableArms) {
   EXPECT_LT(u.MaxUcb(), 0);
 }
 
-TEST(UserStateTest, NonGpPolicyHasNullGpView) {
+TEST(UserStateTest, NonGpPolicyHasNoConfidenceBounds) {
   auto state = UserState::Create(
       0, std::make_unique<bandit::Ucb1Policy>(3), {1.0, 1.0, 1.0});
   ASSERT_TRUE(state.ok());
   UserState u = std::move(state).value();
-  EXPECT_EQ(u.gp_policy(), nullptr);
+  EXPECT_FALSE(u.policy().HasConfidenceBounds());
   // The protocol still works; the pending UCB falls back to 1.
   auto arm = u.SelectArm();
   ASSERT_TRUE(arm.ok());
