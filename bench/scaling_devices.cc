@@ -1,0 +1,67 @@
+/// Device-scaling benchmark for the async multi-device selection pipeline
+/// (PR 3). Sweeps D devices x T tenants on the full service stack
+/// (DSL submission -> task pool -> multi-tenant selector -> async worker
+/// pool): each training run is dilated in real time by its simulated
+/// duration, so the reported wall-clock makespan is the end-to-end time a
+/// D-device cluster would take to exhaust the campaign. With a shared FIFO
+/// of independent tenants the makespan must fall monotonically from D=1 to
+/// D=8 (recorded in BENCH_pr3.json).
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "platform/service.h"
+
+namespace {
+
+using easeml::platform::AsyncRunReport;
+using easeml::platform::EaseMlService;
+
+constexpr char kImageProgram[] =
+    "{input: {[Tensor[256,256,3]], []}, output: {[Tensor[3]], []}}";
+
+/// Real seconds slept per unit of simulated GPU time. Training one
+/// candidate costs roughly relative_cost * 400 simulated units, so a
+/// 100-tenant x 8-candidate campaign sums to a few seconds at D=1.
+constexpr double kSecondsPerCostUnit = 5e-6;
+
+AsyncRunReport RunCampaign(int tenants, int devices) {
+  EaseMlService::Options opts;
+  opts.seed = 42;
+  opts.selector.seed = 42;
+  opts.selector.num_devices = devices;
+  auto service = EaseMlService::Create(opts);
+  EASEML_CHECK(service.ok()) << service.status().ToString();
+  for (int j = 0; j < tenants; ++j) {
+    auto job = service->SubmitJob(kImageProgram);
+    EASEML_CHECK(job.ok()) << job.status().ToString();
+    EASEML_CHECK(service->Feed(j, 100 + (j * 37) % 400).ok());
+  }
+  auto report = service->RunAsync(devices, kSecondsPerCostUnit);
+  EASEML_CHECK(report.ok()) << report.status().ToString();
+  EASEML_CHECK(service->Exhausted());
+  return *report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Async multi-device selection: D devices x T tenants, full service "
+      "stack, %g real s per simulated cost unit\n",
+      kSecondsPerCostUnit);
+  std::printf("%8s %8s | %6s | %12s %12s | %14s %14s\n", "tenants", "devices",
+              "steps", "wall_s", "speedup", "sim_busy", "sim_makespan");
+  for (int tenants : {25, 100}) {
+    double wall_d1 = 0.0;
+    for (int devices : {1, 2, 4, 8}) {
+      const AsyncRunReport r = RunCampaign(tenants, devices);
+      if (devices == 1) wall_d1 = r.wall_seconds;
+      std::printf("%8d %8d | %6d | %12.3f %12.2f | %14.1f %14.1f\n", tenants,
+                  devices, r.steps, r.wall_seconds,
+                  wall_d1 / r.wall_seconds, r.simulated_busy_time,
+                  r.simulated_makespan);
+    }
+  }
+  return 0;
+}

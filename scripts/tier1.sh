@@ -2,20 +2,40 @@
 # Tier-1 verify loop (same commands as .github/workflows/ci.yml and
 # ROADMAP.md): configure, build, run every registered test.
 #
-# Usage: scripts/tier1.sh [BUILD_TYPE]
-#   BUILD_TYPE defaults to RelWithDebInfo (the historical tier-1 loop).
-#   Pass Release to exercise the -O2 leg CI runs on every PR; non-default
-#   build types use their own build directory (build-<type>) so the two
-#   configurations never clobber each other.
+# Usage: scripts/tier1.sh [CONFIG]
+#   CONFIG is a CMake build type (default RelWithDebInfo, the historical
+#   tier-1 loop; pass Release to exercise the -O2 leg) or one of the
+#   sanitizer presets:
+#     asan  — ASan+UBSan   (-DEASEML_SANITIZE=address,undefined)
+#     tsan  — ThreadSanitizer (-DEASEML_SANITIZE=thread), which races the
+#             async training executor and the multi-device pipeline
+#   Non-default configs use their own build directory (build-<config>) so
+#   the configurations never clobber each other.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_TYPE="${1:-RelWithDebInfo}"
+CONFIG="${1:-RelWithDebInfo}"
 BUILD_DIR="build"
-if [[ "${BUILD_TYPE}" != "RelWithDebInfo" ]]; then
-  BUILD_DIR="build-$(echo "${BUILD_TYPE}" | tr '[:upper:]' '[:lower:]')"
-fi
+CMAKE_ARGS=()
+case "${CONFIG}" in
+  asan)
+    BUILD_DIR="build-asan"
+    CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
+                -DEASEML_SANITIZE=address,undefined)
+    ;;
+  tsan)
+    BUILD_DIR="build-tsan"
+    CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
+                -DEASEML_SANITIZE=thread)
+    ;;
+  *)
+    if [[ "${CONFIG}" != "RelWithDebInfo" ]]; then
+      BUILD_DIR="build-$(echo "${CONFIG}" | tr '[:upper:]' '[:lower:]')"
+    fi
+    CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${CONFIG}")
+    ;;
+esac
 
-cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 cmake --build "${BUILD_DIR}" -j
 cd "${BUILD_DIR}" && ctest --output-on-failure -j

@@ -1,5 +1,8 @@
 #include "bandit/bandit_policy.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace easeml::bandit {
 
 double BanditPolicy::Mean(int arm) const {
@@ -16,6 +19,12 @@ double BanditPolicy::Ucb(int arm, int t) const {
   (void)arm;
   (void)t;
   return 1.0;
+}
+
+double BanditPolicy::MaxUcb(const std::vector<int>& arms, int t) const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (int a : arms) best = std::max(best, Ucb(a, t));
+  return best;
 }
 
 Status BanditPolicy::ValidateAvailable(

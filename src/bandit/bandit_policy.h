@@ -56,6 +56,12 @@ class BanditPolicy {
   /// Upper confidence bound B_t(arm) at round `t`; 1 without a belief.
   virtual double Ucb(int arm, int t) const;
 
+  /// Largest B_t over `arms` (the caller passes the arms it considers
+  /// live — e.g. neither played nor charged to an in-flight device);
+  /// -infinity when `arms` is empty. Belief-backed policies override this
+  /// with a single batched posterior read instead of |arms| scalar queries.
+  virtual double MaxUcb(const std::vector<int>& arms, int t) const;
+
  protected:
   /// Shared argument validation for SelectArm implementations.
   Status ValidateAvailable(const std::vector<int>& available) const;

@@ -1,5 +1,6 @@
 #include "bandit/gp_ucb.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -91,6 +92,18 @@ double GpUcbPolicy::UcbFromMarginals(int arm, double beta, double mean,
 double GpUcbPolicy::Ucb(int arm, int t) const {
   return UcbFromMarginals(arm, Beta(t), belief_->Mean(arm),
                           belief_->Variance(arm));
+}
+
+double GpUcbPolicy::MaxUcb(const std::vector<int>& arms, int t) const {
+  double best = -std::numeric_limits<double>::infinity();
+  if (arms.empty()) return best;
+  const gp::PosteriorSummary summary = belief_->AllMarginals();
+  const double beta = Beta(t);
+  for (int arm : arms) {
+    best = std::max(best, UcbFromMarginals(arm, beta, summary.mean[arm],
+                                           summary.variance[arm]));
+  }
+  return best;
 }
 
 Result<int> GpUcbPolicy::SelectArm(const std::vector<int>& available, int t) {

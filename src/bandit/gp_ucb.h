@@ -68,6 +68,9 @@ class GpUcbPolicy : public BanditPolicy {
   double StdDev(int arm) const override { return belief_->StdDev(arm); }
   /// Upper confidence bound B_t(k) = mu(k) + sqrt(beta_t [/ c_k]) sigma(k).
   double Ucb(int arm, int t) const override;
+  /// Batched max-UCB over `arms` from one posterior-summary read (what the
+  /// in-flight-aware scheduler diagnostics consume each round).
+  double MaxUcb(const std::vector<int>& arms, int t) const override;
 
   double ArmCost(int arm) const;
 

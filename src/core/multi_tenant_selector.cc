@@ -1,5 +1,7 @@
 #include "core/multi_tenant_selector.h"
 
+#include <cmath>
+
 #include "bandit/gp_ucb.h"
 #include "scheduler/fcfs.h"
 #include "scheduler/greedy.h"
@@ -53,6 +55,9 @@ Result<MultiTenantSelector> MultiTenantSelector::Create(
   if (options.hybrid_patience <= 0) {
     return Status::InvalidArgument("Selector: hybrid_patience must be > 0");
   }
+  if (options.num_devices < 1) {
+    return Status::InvalidArgument("Selector: num_devices must be >= 1");
+  }
   auto sched = MakeScheduler(options);
   if (sched == nullptr) {
     return Status::InvalidArgument("Selector: unknown scheduler kind");
@@ -73,6 +78,9 @@ Result<int> MultiTenantSelector::AddTenantWithBelief(
   EASEML_ASSIGN_OR_RETURN(
       scheduler::UserState state,
       scheduler::UserState::Create(id, std::move(policy), std::move(costs)));
+  // One device slot per tenant per device: a tenant may occupy several
+  // devices at once, but never with the same model (per-arm in-flight mask).
+  EASEML_RETURN_NOT_OK(state.set_max_in_flight(options_.num_devices));
   users_.push_back(std::move(state));
   best_model_.push_back(-1);
   return id;
@@ -120,52 +128,123 @@ bool MultiTenantSelector::Exhausted() const {
   return true;
 }
 
-Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
-  if (has_pending_) {
-    return Status::FailedPrecondition(
-        "Next: previous assignment not reported");
+bool MultiTenantSelector::HasDispatchableWork() const {
+  if (num_in_flight() >= options_.num_devices) return false;
+  for (const auto& u : users_) {
+    if (u.Schedulable()) return true;
   }
+  return false;
+}
+
+Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
   if (users_.empty()) {
     return Status::FailedPrecondition("Next: no tenants registered");
   }
+  if (num_in_flight() >= options_.num_devices) {
+    return Status::FailedPrecondition(
+        "Next: all " + std::to_string(options_.num_devices) +
+        " device slots are occupied; report a completion first");
+  }
   int tenant = -1;
   // Initialization sweep (Algorithm 2 lines 1-4): any tenant without an
-  // observation is served first, in registration order.
+  // observation is served first, in registration order. A tenant whose
+  // first run is still in flight is already charged — skip it, or the
+  // sweep would hand its second model out before the first observation.
   for (const auto& u : users_) {
-    if (!u.has_observations() && !u.Exhausted()) {
+    if (!u.has_observations() && !u.has_pending() && !u.Exhausted()) {
       tenant = u.user_id();
       break;
     }
   }
   if (tenant < 0) {
+    bool any_schedulable = false;
+    for (const auto& u : users_) {
+      if (u.Schedulable()) {
+        any_schedulable = true;
+        break;
+      }
+    }
+    if (!any_schedulable) {
+      return in_flight_.empty()
+                 ? Status::FailedPrecondition("Next: all tenants exhausted")
+                 : Status::FailedPrecondition(
+                       "Next: every remaining model is in flight; report a "
+                       "completion first");
+    }
     EASEML_ASSIGN_OR_RETURN(tenant, scheduler_->PickUser(users_, round_ + 1));
   }
   EASEML_ASSIGN_OR_RETURN(int model, users_[tenant].SelectArm());
-  pending_ = Assignment{tenant, model};
-  has_pending_ = true;
-  return pending_;
+  Assignment assignment;
+  assignment.tenant = tenant;
+  assignment.model = model;
+  assignment.id = next_ticket_++;
+  in_flight_.emplace(assignment.id, assignment);
+  return assignment;
+}
+
+Result<std::map<int64_t, MultiTenantSelector::Assignment>::iterator>
+MultiTenantSelector::FindIssuedEntry(const Assignment& assignment) {
+  // Taxonomy order matters: a never-issued id is NotFound even when the
+  // in-flight table is empty; only an issued-then-closed ticket is the
+  // FailedPrecondition (stale/duplicate) case.
+  if (assignment.id < 0 || assignment.id >= next_ticket_) {
+    return Status::NotFound("Report: unknown assignment id " +
+                            std::to_string(assignment.id));
+  }
+  auto it = in_flight_.find(assignment.id);
+  if (it == in_flight_.end()) {
+    return Status::FailedPrecondition(
+        "Report: assignment " + std::to_string(assignment.id) +
+        " was already reported (stale or duplicate completion)");
+  }
+  // Validate against the ISSUED entry, not the caller's struct by value: a
+  // forged (tenant, model) under a live ticket must not touch belief state.
+  const Assignment& issued = it->second;
+  if (assignment.tenant != issued.tenant || assignment.model != issued.model) {
+    return Status::InvalidArgument(
+        "Report: assignment does not match the issued in-flight entry "
+        "(ticket " + std::to_string(assignment.id) + " was issued for tenant " +
+        std::to_string(issued.tenant) + ", model " +
+        std::to_string(issued.model) + ")");
+  }
+  return it;
 }
 
 Status MultiTenantSelector::Report(const Assignment& assignment,
                                    double accuracy) {
-  if (!has_pending_) {
-    return Status::FailedPrecondition("Report: no outstanding assignment");
+  EASEML_ASSIGN_OR_RETURN(auto it, FindIssuedEntry(assignment));
+  if (!std::isfinite(accuracy)) {
+    return Status::InvalidArgument("Report: accuracy must be finite");
   }
-  if (assignment.tenant != pending_.tenant ||
-      assignment.model != pending_.model) {
-    return Status::InvalidArgument(
-        "Report: assignment does not match the outstanding one");
-  }
-  const double before = users_[assignment.tenant].best_reward();
+  const Assignment issued = it->second;
+  const double before = users_[issued.tenant].best_reward();
   EASEML_RETURN_NOT_OK(
-      users_[assignment.tenant].RecordOutcome(assignment.model, accuracy));
-  if (accuracy > before || best_model_[assignment.tenant] < 0) {
-    best_model_[assignment.tenant] = assignment.model;
+      users_[issued.tenant].RecordOutcome(issued.model, accuracy));
+  if (accuracy > before || best_model_[issued.tenant] < 0) {
+    best_model_[issued.tenant] = issued.model;
   }
-  scheduler_->OnOutcome(users_, assignment.tenant);
-  has_pending_ = false;
+  scheduler_->OnOutcome(users_, issued.tenant);
+  in_flight_.erase(it);
   ++round_;
   return Status::OK();
+}
+
+Status MultiTenantSelector::Cancel(const Assignment& assignment) {
+  EASEML_ASSIGN_OR_RETURN(auto it, FindIssuedEntry(assignment));
+  const Assignment issued = it->second;
+  EASEML_RETURN_NOT_OK(users_[issued.tenant].CancelSelection(issued.model));
+  in_flight_.erase(it);
+  return Status::OK();
+}
+
+Result<MultiTenantSelector::Assignment> MultiTenantSelector::InFlightAssignment(
+    int64_t ticket) const {
+  const auto it = in_flight_.find(ticket);
+  if (it == in_flight_.end()) {
+    return Status::NotFound("InFlightAssignment: ticket " +
+                            std::to_string(ticket) + " is not outstanding");
+  }
+  return it->second;
 }
 
 Status MultiTenantSelector::ValidateTenant(int tenant) const {

@@ -1,6 +1,7 @@
 #ifndef EASEML_CORE_MULTI_TENANT_SELECTOR_H_
 #define EASEML_CORE_MULTI_TENANT_SELECTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,12 +41,18 @@ struct SelectorOptions {
 
   /// Seed for the RANDOM scheduler.
   uint64_t seed = 0;
+
+  /// Number of training devices, i.e. the maximum number of assignments
+  /// that may be outstanding at once. 1 (the default) is the paper's
+  /// resource model ("use all its GPUs to train a single model") and
+  /// reproduces the sequential Next/Report protocol bit-identically.
+  int num_devices = 1;
 };
 
 /// The core public API of this library: ease.ml's multi-tenant, cost-aware
 /// model-selection engine (Section 4) behind a pull interface.
 ///
-/// The caller owns the actual training substrate. Usage:
+/// The caller owns the actual training substrate. Sequential usage:
 ///
 ///   auto selector = MultiTenantSelector::Create(options).value();
 ///   auto prior = gp::MakeSharedGpPrior(gram, noise).value();  // once
@@ -61,16 +68,37 @@ struct SelectorOptions {
 /// Gram matrix; each keeps only its O(K + tK) observation state, so tenant
 /// count scales independently of K^2.
 ///
-/// The selector serves one training job at a time (the paper's single-device
-/// resource model: "the current execution strategy of ease.ml is to use all
-/// its GPUs to train a single model"). Tenants added after the loop started
-/// are picked up by the initialization sweep on their first rounds.
+/// ## The in-flight model (multi-device operation)
+///
+/// With `options.num_devices = D`, up to D assignments may be outstanding
+/// at once. Every assignment `Next()` hands out carries a unique ticket
+/// `id` and is recorded in an in-flight table keyed by that id; the tenant's
+/// per-arm in-flight mask marks the model as *charged but unobserved*, so
+/// no scheduler can hand the same (tenant, model) to a second device and
+/// the UCB diagnostics (GREEDY's candidate set, line-8 gaps) skip it.
+/// `Report()` reconciles completions arriving in ANY order by validating
+/// the reported assignment against the issued in-flight entry:
+///
+///   - unknown ticket id (never issued)            -> NotFound
+///   - stale/duplicate id (issued, already closed) -> FailedPrecondition
+///   - forged tenant/model under a live id         -> InvalidArgument
+///   - non-finite accuracy                         -> InvalidArgument
+///
+/// and only then folds the observation into the tenant's belief, so no
+/// malformed report can corrupt belief state. `Next()` fails with
+/// FailedPrecondition while all D device slots are occupied, and with a
+/// distinct FailedPrecondition when every remaining model is in flight
+/// (drain completions first). Tenants added after the loop started are
+/// picked up by the initialization sweep on their first rounds.
 class MultiTenantSelector {
  public:
-  /// A unit of work: train model `model` for tenant `tenant`.
+  /// A unit of work: train model `model` for tenant `tenant`. `id` is the
+  /// in-flight ticket assigned by `Next()`, unique across the selector's
+  /// lifetime; `Report` validates against it.
   struct Assignment {
     int tenant = -1;
     int model = -1;
+    int64_t id = -1;
   };
 
   static Result<MultiTenantSelector> Create(const SelectorOptions& options);
@@ -96,16 +124,42 @@ class MultiTenantSelector {
 
   int num_tenants() const { return static_cast<int>(users_.size()); }
 
-  /// True when every tenant has trained every candidate model.
+  /// True when every tenant has trained every candidate model (in-flight
+  /// assignments keep the selector non-exhausted until reported).
   bool Exhausted() const;
 
-  /// Picks the next (tenant, model) to train. Only one assignment may be
-  /// outstanding: fails with FailedPrecondition if the previous assignment
-  /// has not been reported yet, or if all tenants are exhausted.
+  /// Number of outstanding (issued, not yet reported) assignments.
+  int num_in_flight() const { return static_cast<int>(in_flight_.size()); }
+
+  /// Configured device count (max outstanding assignments).
+  int num_devices() const { return options_.num_devices; }
+
+  /// True iff `Next()` would hand out an assignment right now: a device
+  /// slot is free and some tenant has an un-charged model remaining. False
+  /// while everything remaining is in flight — drain completions and retry.
+  bool HasDispatchableWork() const;
+
+  /// Picks the next (tenant, model) to train and marks it in flight. Fails
+  /// with FailedPrecondition when all `num_devices` slots are occupied,
+  /// when every remaining model is in flight, or when all tenants are
+  /// exhausted.
   Result<Assignment> Next();
 
-  /// Reports the measured accuracy of a completed assignment.
+  /// Reports the measured accuracy of a completed assignment; completions
+  /// may arrive in any order. See the class comment for the Status-code
+  /// taxonomy of rejected reports.
   Status Report(const Assignment& assignment, double accuracy);
+
+  /// Returns a live ticket without an observation (device failure, job
+  /// abort): the (tenant, model) becomes dispatchable again as if never
+  /// handed out. Validates exactly like `Report`.
+  Status Cancel(const Assignment& assignment);
+
+  /// The issued in-flight assignment for a live ticket; NotFound when the
+  /// ticket is not outstanding. This is the authoritative in-flight record
+  /// — executors correlate completions through it instead of keeping their
+  /// own table.
+  Result<Assignment> InFlightAssignment(int64_t ticket) const;
 
   /// Best model trained so far for `tenant` (what `infer` serves);
   /// NotFound before the first completed run.
@@ -130,6 +184,11 @@ class MultiTenantSelector {
   Result<int> AddTenantWithBelief(std::unique_ptr<gp::ArmBelief> belief,
                                   std::vector<double> costs);
 
+  /// Shared Report/Cancel validation: resolves `assignment` to its live
+  /// in-flight entry or the precise rejection Status (see class comment).
+  Result<std::map<int64_t, Assignment>::iterator> FindIssuedEntry(
+      const Assignment& assignment);
+
   SelectorOptions options_;
   std::unique_ptr<scheduler::SchedulerPolicy> scheduler_;
   std::vector<scheduler::UserState> users_;
@@ -137,8 +196,9 @@ class MultiTenantSelector {
   std::map<std::pair<int, double>, std::shared_ptr<const gp::SharedGpPrior>>
       default_priors_;
   std::vector<int> best_model_;  // -1 until first report
-  Assignment pending_;
-  bool has_pending_ = false;
+  /// Outstanding assignments keyed by ticket id.
+  std::map<int64_t, Assignment> in_flight_;
+  int64_t next_ticket_ = 0;
   int round_ = 0;
 };
 

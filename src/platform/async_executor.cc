@@ -1,0 +1,165 @@
+#include "platform/async_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace easeml::platform {
+
+AsyncTrainingExecutor::AsyncTrainingExecutor(const Options& options)
+    : options_(options),
+      worker_clock_(static_cast<size_t>(options.num_workers), 0.0) {}
+
+Result<std::unique_ptr<AsyncTrainingExecutor>> AsyncTrainingExecutor::Create(
+    const Options& options) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument(
+        "AsyncTrainingExecutor: num_workers must be >= 1");
+  }
+  if (!(options.seconds_per_cost_unit >= 0.0) ||
+      !std::isfinite(options.seconds_per_cost_unit)) {
+    return Status::InvalidArgument(
+        "AsyncTrainingExecutor: seconds_per_cost_unit must be finite and "
+        ">= 0");
+  }
+  // Not make_unique: the constructor is private. Threads start only after
+  // the object is fully constructed so WorkerLoop never sees a torn state.
+  std::unique_ptr<AsyncTrainingExecutor> pool(
+      new AsyncTrainingExecutor(options));
+  pool->workers_.reserve(static_cast<size_t>(options.num_workers));
+  for (int w = 0; w < options.num_workers; ++w) {
+    pool->workers_.emplace_back(
+        [raw = pool.get(), w]() { raw->WorkerLoop(w); });
+  }
+  return pool;
+}
+
+AsyncTrainingExecutor::~AsyncTrainingExecutor() { Shutdown(); }
+
+Status AsyncTrainingExecutor::Submit(AsyncTrainingJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("Submit: executor is shut down");
+    }
+    jobs_.push_back(std::move(job));
+    ++outstanding_;
+  }
+  job_ready_.notify_one();
+  return Status::OK();
+}
+
+AsyncTrainingCompletion AsyncTrainingExecutor::ConsumeFront(
+    std::unique_lock<std::mutex>& lock) {
+  AsyncTrainingCompletion done = std::move(completions_.front());
+  completions_.pop_front();
+  --outstanding_;
+  const bool drained = outstanding_ == 0;
+  lock.unlock();
+  // Wake blocked WaitCompletion callers when the pool drains so they can
+  // fail fast instead of waiting for a completion that will never come.
+  if (drained) completion_ready_.notify_all();
+  return done;
+}
+
+std::optional<AsyncTrainingCompletion>
+AsyncTrainingExecutor::TryNextCompletion() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (completions_.empty()) return std::nullopt;
+  return ConsumeFront(lock);
+}
+
+Result<AsyncTrainingCompletion> AsyncTrainingExecutor::WaitCompletion() {
+  std::unique_lock<std::mutex> lock(mu_);
+  completion_ready_.wait(
+      lock, [this] { return !completions_.empty() || outstanding_ == 0; });
+  if (completions_.empty()) {
+    // Nothing outstanding: either nothing was submitted or a concurrent
+    // consumer drained the last completion.
+    return Status::FailedPrecondition(
+        "WaitCompletion: no job outstanding (submit first)");
+  }
+  return ConsumeFront(lock);
+}
+
+int AsyncTrainingExecutor::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+double AsyncTrainingExecutor::SimulatedBusyTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (double c : worker_clock_) total += c;
+  return total;
+}
+
+double AsyncTrainingExecutor::SimulatedMakespan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double makespan = 0.0;
+  for (double c : worker_clock_) makespan = std::max(makespan, c);
+  return makespan;
+}
+
+void AsyncTrainingExecutor::Shutdown() {
+  // Claim the thread handles under the lock: with concurrent Shutdown
+  // callers (e.g. an explicit call racing the destructor) exactly one
+  // joins each worker; the others see an empty vector and return.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    to_join.swap(workers_);
+  }
+  job_ready_.notify_all();
+  for (auto& worker : to_join) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void AsyncTrainingExecutor::WorkerLoop(int worker_index) {
+  // Each worker owns a private, deterministically seeded simulator: no
+  // training state is shared, and worker 0 replays the sequential
+  // executor's exact RNG stream.
+  SimulatedTrainingExecutor::Options exec_options = options_.executor;
+  exec_options.seed += static_cast<uint64_t>(worker_index);
+  SimulatedTrainingExecutor executor(exec_options);
+
+  while (true) {
+    AsyncTrainingJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // shutdown with a drained queue
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+
+    AsyncTrainingCompletion done;
+    done.job_id = job.job_id;
+    done.worker = worker_index;
+    auto outcome = executor.Train(job.model, job.candidate, job.profile);
+    if (outcome.ok()) {
+      done.outcome = *outcome;
+      if (options_.seconds_per_cost_unit > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            outcome->duration * options_.seconds_per_cost_unit));
+      }
+    } else {
+      done.status = outcome.status();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (done.status.ok()) {
+        worker_clock_[static_cast<size_t>(worker_index)] +=
+            done.outcome.duration;
+      }
+      completions_.push_back(std::move(done));
+    }
+    completion_ready_.notify_one();
+  }
+}
+
+}  // namespace easeml::platform

@@ -1,0 +1,128 @@
+#ifndef EASEML_PLATFORM_ASYNC_EXECUTOR_H_
+#define EASEML_PLATFORM_ASYNC_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "platform/model_registry.h"
+#include "platform/normalization.h"
+#include "platform/training_executor.h"
+
+namespace easeml::platform {
+
+/// One training request handed to the worker pool. `job_id` is the caller's
+/// correlation key (the selector's assignment ticket, a task-pool id, ...);
+/// the executor never interprets it beyond echoing it in the completion.
+struct AsyncTrainingJob {
+  int64_t job_id = -1;
+  ModelInfo model;
+  CandidateModel candidate;
+  TaskProfile profile;
+};
+
+/// Outcome of one asynchronous training run. Completions surface in the
+/// order runs FINISH, not the order jobs were submitted.
+struct AsyncTrainingCompletion {
+  int64_t job_id = -1;
+  int worker = -1;       // index of the worker that ran the job
+  Status status;         // per-job Train() error, propagated not fatal
+  TrainingOutcome outcome;  // valid iff status.ok()
+};
+
+/// A worker-thread pool over `SimulatedTrainingExecutor` — the concurrent
+/// training substrate behind the multi-device selection pipeline.
+///
+/// `num_workers` threads pull jobs from a shared FIFO queue, run
+/// `SimulatedTrainingExecutor::Train`, and push results onto a completion
+/// queue the caller drains with `WaitCompletion`/`TryNextCompletion`.
+/// Each worker owns a private executor seeded `options.executor.seed +
+/// worker index`, so no training state is shared across threads; with ONE
+/// worker the pool consumes exactly the sequential executor's RNG stream
+/// in submission order, making the D=1 async pipeline bit-identical to the
+/// sequential path.
+///
+/// `seconds_per_cost_unit` optionally dilates each run by its simulated
+/// duration in real time (sleeping, not spinning), which turns the pool
+/// into a faithful wall-clock model of D devices: makespan ~ total
+/// simulated cost / D. Leave it 0 for as-fast-as-possible draining.
+///
+/// Thread-safety: all public methods may be called from any thread.
+/// `Shutdown()` (also run by the destructor) drains every queued job, then
+/// joins the workers; `Submit` fails afterwards.
+class AsyncTrainingExecutor {
+ public:
+  struct Options {
+    int num_workers = 2;
+    SimulatedTrainingExecutor::Options executor;
+    double seconds_per_cost_unit = 0.0;
+  };
+
+  /// Validates options and starts the worker threads.
+  static Result<std::unique_ptr<AsyncTrainingExecutor>> Create(
+      const Options& options);
+
+  ~AsyncTrainingExecutor();
+
+  AsyncTrainingExecutor(const AsyncTrainingExecutor&) = delete;
+  AsyncTrainingExecutor& operator=(const AsyncTrainingExecutor&) = delete;
+
+  /// Enqueues a job; fails with FailedPrecondition after Shutdown.
+  Status Submit(AsyncTrainingJob job);
+
+  /// Non-blocking: next finished completion, or nullopt if none is ready.
+  std::optional<AsyncTrainingCompletion> TryNextCompletion();
+
+  /// Blocks until a completion is available and returns it. Fails with
+  /// FailedPrecondition when nothing is outstanding (every submitted job's
+  /// completion was already consumed) — the caller's drain loop is done.
+  Result<AsyncTrainingCompletion> WaitCompletion();
+
+  /// Jobs submitted whose completions have not been consumed yet.
+  int outstanding() const;
+
+  /// Configured worker count (immutable after Create).
+  int num_workers() const { return options_.num_workers; }
+
+  /// Total simulated GPU time of all finished runs (sum over workers).
+  double SimulatedBusyTime() const;
+
+  /// Largest per-worker simulated clock — the event-driven makespan proxy
+  /// for a perfectly balanced D-device cluster.
+  double SimulatedMakespan() const;
+
+  /// Stops accepting jobs, drains the queue, joins all workers. Idempotent.
+  /// Completions produced while draining remain consumable.
+  void Shutdown();
+
+ private:
+  explicit AsyncTrainingExecutor(const Options& options);
+  void WorkerLoop(int worker_index);
+
+  /// Pops the front completion. Precondition: `lock` holds `mu_` and
+  /// `completions_` is non-empty; unlocks before the drained notification.
+  AsyncTrainingCompletion ConsumeFront(std::unique_lock<std::mutex>& lock);
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable job_ready_;         // signals workers
+  std::condition_variable completion_ready_;  // signals consumers
+  std::deque<AsyncTrainingJob> jobs_;
+  std::deque<AsyncTrainingCompletion> completions_;
+  std::vector<double> worker_clock_;  // simulated seconds per worker
+  int outstanding_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;  // started last, joined in Shutdown
+};
+
+}  // namespace easeml::platform
+
+#endif  // EASEML_PLATFORM_ASYNC_EXECUTOR_H_

@@ -1,6 +1,9 @@
 #include "platform/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
 
 #include "platform/templates.h"
 
@@ -121,26 +124,120 @@ Result<InferReport> EaseMlService::Infer(int job) const {
   return report;
 }
 
+Result<AsyncTrainingJob> EaseMlService::MakeTrainingJob(
+    const core::MultiTenantSelector::Assignment& assignment) const {
+  const JobInfo& job = jobs_[assignment.tenant];
+  AsyncTrainingJob spec;
+  spec.job_id = assignment.id;
+  spec.candidate = job.candidates[assignment.model];
+  EASEML_ASSIGN_OR_RETURN(
+      spec.model, ModelRegistry::Builtin().Find(spec.candidate.base_model));
+  spec.profile.difficulty = job.difficulty;
+  spec.profile.num_examples = std::max(1.0, EffectiveExamples(job));
+  spec.profile.dynamic_range = job.dynamic_range;
+  return spec;
+}
+
 Result<Task> EaseMlService::Step() {
   EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment assignment,
                           selector_.Next());
-  JobInfo& job = jobs_[assignment.tenant];
-  const CandidateModel& candidate = job.candidates[assignment.model];
-  EASEML_ASSIGN_OR_RETURN(ModelInfo info,
-                          ModelRegistry::Builtin().Find(candidate.base_model));
-  TaskProfile profile;
-  profile.difficulty = job.difficulty;
-  profile.num_examples = std::max(1.0, EffectiveExamples(job));
-  profile.dynamic_range = job.dynamic_range;
-
-  const int task_id = job.task_ids[assignment.model];
+  EASEML_ASSIGN_OR_RETURN(AsyncTrainingJob spec, MakeTrainingJob(assignment));
+  const int task_id = jobs_[assignment.tenant].task_ids[assignment.model];
   EASEML_RETURN_NOT_OK(pool_.MarkRunning(task_id));
-  EASEML_ASSIGN_OR_RETURN(TrainingOutcome outcome,
-                          executor_.Train(info, candidate, profile));
+  EASEML_ASSIGN_OR_RETURN(
+      TrainingOutcome outcome,
+      executor_.Train(spec.model, spec.candidate, spec.profile));
   EASEML_RETURN_NOT_OK(
       pool_.MarkDone(task_id, outcome.accuracy, outcome.duration));
   EASEML_RETURN_NOT_OK(selector_.Report(assignment, outcome.accuracy));
   return pool_.Get(task_id);
+}
+
+Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
+                                               double seconds_per_cost_unit) {
+  if (selector_.num_in_flight() > 0) {
+    return Status::FailedPrecondition(
+        "RunAsync: selector already has in-flight assignments");
+  }
+  AsyncTrainingExecutor::Options options;
+  options.num_workers =
+      num_workers > 0 ? num_workers : selector_.num_devices();
+  options.executor = options_.executor;
+  options.seconds_per_cost_unit = seconds_per_cost_unit;
+  EASEML_ASSIGN_OR_RETURN(std::unique_ptr<AsyncTrainingExecutor> pool,
+                          AsyncTrainingExecutor::Create(options));
+
+  AsyncRunReport report;
+  report.num_workers = options.num_workers;
+  const auto start = std::chrono::steady_clock::now();
+
+  // A per-job Train failure (bad profile, broken device) must not wedge
+  // the service: the ticket is cancelled, the task requeued, dispatch
+  // stops, the drain finishes, and the first error is returned with the
+  // selector and task pool back in a consistent, re-runnable state.
+  Status first_error;
+  while (true) {
+    // Fill every free device slot before blocking on a completion. The
+    // selector's in-flight table is the one source of truth for what is
+    // running; completions are correlated through its tickets.
+    while (first_error.ok() && selector_.HasDispatchableWork()) {
+      EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment a,
+                              selector_.Next());
+      // Any dispatch failure after Next must unwind what already
+      // happened (return the ticket, un-run the task) and then keep
+      // DRAINING — an early return would abandon the other in-flight
+      // tickets and wedge every future campaign.
+      auto spec = MakeTrainingJob(a);
+      if (!spec.ok()) {
+        EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+        first_error = spec.status();
+        break;
+      }
+      const int task_id = jobs_[a.tenant].task_ids[a.model];
+      Status running = pool_.MarkRunning(task_id);
+      if (!running.ok()) {
+        EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+        first_error = running;
+        break;
+      }
+      Status submitted = pool->Submit(std::move(*spec));
+      if (!submitted.ok()) {
+        EASEML_RETURN_NOT_OK(pool_.Requeue(task_id));
+        EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+        first_error = submitted;
+        break;
+      }
+    }
+    if (pool->outstanding() == 0) break;  // drained and nothing dispatchable
+
+    EASEML_ASSIGN_OR_RETURN(AsyncTrainingCompletion done,
+                            pool->WaitCompletion());
+    EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment a,
+                            selector_.InFlightAssignment(done.job_id));
+    const int task_id = jobs_[a.tenant].task_ids[a.model];
+    if (!done.status.ok()) {
+      EASEML_RETURN_NOT_OK(pool_.Requeue(task_id));
+      EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+      if (first_error.ok()) first_error = done.status;
+      continue;
+    }
+    EASEML_RETURN_NOT_OK(pool_.MarkDone(task_id, done.outcome.accuracy,
+                                        done.outcome.duration));
+    EASEML_RETURN_NOT_OK(selector_.Report(a, done.outcome.accuracy));
+    ++report.steps;
+  }
+  // The successful runs of a failed campaign were Reported and MarkDone'd,
+  // so their simulated time counts toward ClusterTime() either way.
+  report.simulated_busy_time = pool->SimulatedBusyTime();
+  report.simulated_makespan = pool->SimulatedMakespan();
+  async_cluster_time_ += report.simulated_busy_time;
+  EASEML_RETURN_NOT_OK(first_error);
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  pool->Shutdown();
+  return report;
 }
 
 Result<int> EaseMlService::RunSteps(int n) {

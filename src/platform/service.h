@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/multi_tenant_selector.h"
+#include "platform/async_executor.h"
 #include "platform/dsl_parser.h"
 #include "platform/model_registry.h"
 #include "platform/task_pool.h"
@@ -26,6 +27,15 @@ struct InferReport {
   std::string model_name;
   double accuracy = 0.0;
   int rounds_served = 0;
+};
+
+/// Outcome of one asynchronous multi-device campaign (`RunAsync`).
+struct AsyncRunReport {
+  int steps = 0;                  // completed training runs
+  int num_workers = 0;            // worker threads used
+  double wall_seconds = 0.0;      // real end-to-end makespan
+  double simulated_busy_time = 0.0;  // summed simulated GPU time
+  double simulated_makespan = 0.0;   // max per-worker simulated clock
 };
 
 /// The end-to-end ease.ml service (Figure 1): declarative job submission,
@@ -75,6 +85,25 @@ class EaseMlService {
   /// Convenience: runs `n` steps or until exhausted; returns steps taken.
   Result<int> RunSteps(int n);
 
+  /// Runs the asynchronous multi-device selection pipeline to exhaustion:
+  /// keeps up to `selector.num_devices` assignments in flight on an
+  /// `AsyncTrainingExecutor` worker pool (one worker per device by
+  /// default; pass `num_workers > 0` to override), reconciling completions
+  /// in whatever order devices finish. Every task moves through the pool's
+  /// kPending -> kRunning -> kDone transitions exactly as in `Step`; a
+  /// failed training run requeues its task, returns its selector ticket,
+  /// and surfaces the error after the drain with the service in a
+  /// consistent, re-runnable state. With `num_devices = 1` on a fresh
+  /// service this reproduces the sequential `Step` loop bit-identically
+  /// (worker 0 consumes the same RNG stream from the same seed; if Step()
+  /// already ran, the worker pool's fresh simulators restart that stream,
+  /// so mixed sequential/async campaigns are deterministic but not
+  /// stream-continuous). A positive `seconds_per_cost_unit` dilates each
+  /// training run by its simulated duration in real time, making
+  /// `wall_seconds` a faithful D-device makespan.
+  Result<AsyncRunReport> RunAsync(int num_workers = 0,
+                                  double seconds_per_cost_unit = 0.0);
+
   /// True when every job has trained all its candidates.
   bool Exhausted() const { return selector_.Exhausted(); }
 
@@ -82,8 +111,12 @@ class EaseMlService {
   /// normalization expansion).
   Result<std::vector<CandidateModel>> Candidates(int job) const;
 
-  /// Simulated GPU time consumed so far.
-  double ClusterTime() const { return executor_.clock(); }
+  /// State of one task in the user-level task pool.
+  Result<Task> TaskInfo(int task_id) const { return pool_.Get(task_id); }
+
+  /// Simulated GPU time consumed so far, across both the sequential
+  /// executor and all completed RunAsync campaigns.
+  double ClusterTime() const { return executor_.clock() + async_cluster_time_; }
 
  private:
   struct JobInfo {
@@ -104,6 +137,11 @@ class EaseMlService {
 
   Status ValidateJob(int job) const;
 
+  /// Resolves a selector assignment into the training request both the
+  /// sequential and the asynchronous path execute.
+  Result<AsyncTrainingJob> MakeTrainingJob(
+      const core::MultiTenantSelector::Assignment& assignment) const;
+
   /// Effective supervision volume: disabled examples do not count and noisy
   /// ones count at a discount.
   double EffectiveExamples(const JobInfo& job) const;
@@ -114,6 +152,7 @@ class EaseMlService {
   Rng rng_;
   TaskPool pool_;
   std::vector<JobInfo> jobs_;
+  double async_cluster_time_ = 0.0;  // summed over RunAsync campaigns
 };
 
 }  // namespace easeml::platform

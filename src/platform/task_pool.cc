@@ -62,6 +62,15 @@ Status TaskPool::MarkDone(int task_id, double accuracy, double duration) {
   return Status::OK();
 }
 
+Status TaskPool::Requeue(int task_id) {
+  EASEML_RETURN_NOT_OK(Validate(task_id));
+  if (tasks_[task_id].state != TaskState::kRunning) {
+    return Status::FailedPrecondition("Requeue: task not running");
+  }
+  tasks_[task_id].state = TaskState::kPending;
+  return Status::OK();
+}
+
 std::vector<Task> TaskPool::PendingForUser(int user_id) const {
   std::vector<Task> out;
   for (const auto& t : tasks_) {

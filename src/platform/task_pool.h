@@ -37,9 +37,14 @@ class TaskPool {
 
   Result<Task> Get(int task_id) const;
 
-  /// State transitions; only kPending -> kRunning -> kDone are legal.
+  /// State transitions; only kPending -> kRunning -> kDone are legal,
+  /// plus the kRunning -> kPending failure path via Requeue.
   Status MarkRunning(int task_id);
   Status MarkDone(int task_id, double accuracy, double duration);
+
+  /// Returns a running task to the pending state (its training run failed
+  /// or was aborted before producing a measurement).
+  Status Requeue(int task_id);
 
   /// Pending tasks of one user.
   std::vector<Task> PendingForUser(int user_id) const;

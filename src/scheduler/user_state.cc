@@ -10,7 +10,9 @@ UserState::UserState(int user_id,
     : user_id_(user_id),
       policy_(std::move(policy)),
       costs_(std::move(costs)),
-      played_(costs_.size(), false) {}
+      played_(costs_.size(), false),
+      in_flight_(costs_.size(), false),
+      in_flight_ucb_(costs_.size(), 0.0) {}
 
 Result<UserState> UserState::Create(
     int user_id, std::unique_ptr<bandit::BanditPolicy> policy,
@@ -29,39 +31,54 @@ Result<UserState> UserState::Create(
   return UserState(user_id, std::move(policy), std::move(costs));
 }
 
+Status UserState::set_max_in_flight(int cap) {
+  if (cap < 1) {
+    return Status::InvalidArgument("set_max_in_flight: cap must be >= 1");
+  }
+  max_in_flight_ = cap;
+  return Status::OK();
+}
+
 std::vector<int> UserState::AvailableArms() const {
   std::vector<int> arms;
   arms.reserve(played_.size() - num_played_);
   for (int a = 0; a < num_models(); ++a) {
-    if (!played_[a]) arms.push_back(a);
+    if (!played_[a] && !in_flight_[a]) arms.push_back(a);
   }
   return arms;
 }
 
 Result<int> UserState::SelectArm() {
-  if (pending_arm_ >= 0) {
+  if (num_in_flight_ >= max_in_flight_) {
     return Status::FailedPrecondition(
-        "SelectArm: outcome of previous selection not recorded");
+        "SelectArm: outcome of previous selection not recorded "
+        "(in-flight cap reached)");
   }
   if (Exhausted()) {
     return Status::FailedPrecondition("SelectArm: all models trained");
   }
+  const std::vector<int> available = AvailableArms();
+  if (available.empty()) {
+    return Status::FailedPrecondition(
+        "SelectArm: every remaining model is already in flight");
+  }
   const int t = rounds_served_ + 1;
-  EASEML_ASSIGN_OR_RETURN(int arm, policy_->SelectArm(AvailableArms(), t));
-  pending_arm_ = arm;
+  EASEML_ASSIGN_OR_RETURN(int arm, policy_->SelectArm(available, t));
+  in_flight_[arm] = true;
+  ++num_in_flight_;
   // Capture B_t(a_t) for the sigma~ recurrence. Policies without a belief
   // report the trivially correct bound of 1 (max accuracy).
-  pending_ucb_ = policy_->Ucb(arm, t);
+  in_flight_ucb_[arm] = policy_->Ucb(arm, t);
   return arm;
 }
 
 Status UserState::RecordOutcome(int arm, double reward) {
-  if (pending_arm_ < 0) {
+  if (num_in_flight_ == 0) {
     return Status::FailedPrecondition("RecordOutcome: no pending selection");
   }
-  if (arm != pending_arm_) {
+  if (arm < 0 || arm >= num_models() || !in_flight_[arm]) {
     return Status::InvalidArgument(
-        "RecordOutcome: arm does not match pending selection");
+        "RecordOutcome: arm does not match a pending selection");
   }
   EASEML_RETURN_NOT_OK(policy_->Update(arm, reward));
   played_[arm] = true;
@@ -71,25 +88,36 @@ Status UserState::RecordOutcome(int arm, double reward) {
   last_reward_ = reward;
   best_reward_ = std::max(best_reward_, reward);
 
-  // Algorithm 2, line 6.
-  const double bound = std::min(pending_ucb_, min_empirical_ucb_);
+  // Algorithm 2, line 6 — against the bound captured when THIS arm was
+  // selected, so out-of-order completions charge the right B_t.
+  const double bound = std::min(in_flight_ucb_[arm], min_empirical_ucb_);
   empirical_bound_ = bound - reward;
   min_empirical_ucb_ = std::min(min_empirical_ucb_, reward + empirical_bound_);
 
-  pending_arm_ = -1;
-  pending_ucb_ = 0.0;
+  in_flight_[arm] = false;
+  in_flight_ucb_[arm] = 0.0;
+  --num_in_flight_;
+  return Status::OK();
+}
+
+Status UserState::CancelSelection(int arm) {
+  if (num_in_flight_ == 0) {
+    return Status::FailedPrecondition("CancelSelection: no pending selection");
+  }
+  if (arm < 0 || arm >= num_models() || !in_flight_[arm]) {
+    return Status::InvalidArgument(
+        "CancelSelection: arm does not match a pending selection");
+  }
+  in_flight_[arm] = false;
+  in_flight_ucb_[arm] = 0.0;
+  --num_in_flight_;
   return Status::OK();
 }
 
 double UserState::MaxUcb() const {
-  if (Exhausted()) return -std::numeric_limits<double>::infinity();
-  const int t = rounds_served_ + 1;
-  double best = -std::numeric_limits<double>::infinity();
-  for (int a = 0; a < num_models(); ++a) {
-    if (played_[a]) continue;
-    best = std::max(best, policy_->Ucb(a, t));
-  }
-  return best;
+  const std::vector<int> remaining = AvailableArms();
+  if (remaining.empty()) return -std::numeric_limits<double>::infinity();
+  return policy_->MaxUcb(remaining, rounds_served_ + 1);
 }
 
 }  // namespace easeml::scheduler

@@ -25,6 +25,15 @@ namespace easeml::scheduler {
 /// Protocol per service round: `SelectArm()` then `RecordOutcome()`. Each
 /// arm (model) is played at most once — training the same model on the same
 /// data again yields no new information in ease.ml's setting.
+///
+/// Multi-device extension: up to `max_in_flight()` selections may be
+/// outstanding at once (one per device serving this tenant). Arms that are
+/// selected but not yet observed are *charged but unobserved*: they are
+/// tracked in a per-arm in-flight mask, excluded from `AvailableArms()` and
+/// from the `MaxUcb()` diagnostics every scheduler policy consults, and
+/// each remembers the B_t captured at its own selection time so the sigma~
+/// recurrence stays exact under out-of-order completions. The default cap
+/// of 1 reproduces the paper's sequential protocol bit-identically.
 class UserState {
  public:
   /// `costs` must have one positive entry per arm of `policy`.
@@ -38,19 +47,40 @@ class UserState {
   /// Number of completed (select, observe) rounds t_i.
   int rounds_served() const { return rounds_served_; }
 
-  /// True when every arm has been played.
+  /// True when every arm has been played (in-flight arms do not count:
+  /// their outcome has not been recorded yet).
   bool Exhausted() const { return num_played_ == num_models(); }
 
-  /// True while a selection is outstanding (SelectArm called, outcome not
-  /// yet recorded) — e.g. a training job in flight on some device.
-  bool has_pending() const { return pending_arm_ >= 0; }
+  /// True while at least one selection is outstanding (SelectArm called,
+  /// outcome not yet recorded) — e.g. a training job in flight on some
+  /// device.
+  bool has_pending() const { return num_in_flight_ > 0; }
 
-  /// True iff a scheduler may serve this user now: not exhausted and no
-  /// training run in flight. Single-device loops never observe a pending
-  /// user at scheduling time, so this reduces to !Exhausted() there.
-  bool Schedulable() const { return !Exhausted() && !has_pending(); }
+  /// Number of outstanding selections.
+  int in_flight_count() const { return num_in_flight_; }
 
-  /// Arms not yet played, ascending.
+  /// True while `arm` is charged but unobserved.
+  bool InFlight(int arm) const { return in_flight_[arm]; }
+
+  /// Maximum number of concurrently outstanding selections (devices this
+  /// tenant may occupy at once). Default 1 = the paper's sequential
+  /// protocol.
+  int max_in_flight() const { return max_in_flight_; }
+
+  /// Raises/lowers the concurrency cap; must stay >= 1. Lowering below the
+  /// current in-flight count is allowed — it only blocks new selections.
+  Status set_max_in_flight(int cap);
+
+  /// True iff a scheduler may serve this user now: an un-played, un-charged
+  /// arm remains and a device slot is free under the concurrency cap.
+  /// Single-device loops never observe a pending user at scheduling time,
+  /// so this reduces to !Exhausted() there.
+  bool Schedulable() const {
+    return num_in_flight_ < max_in_flight_ &&
+           num_played_ + num_in_flight_ < num_models();
+  }
+
+  /// Arms neither played nor in flight, ascending.
   std::vector<int> AvailableArms() const;
 
   bool has_observations() const { return rounds_served_ > 0; }
@@ -69,17 +99,26 @@ class UserState {
   double consumed_cost() const { return consumed_cost_; }
 
   /// Chooses the next model via the tenant's policy at local round
-  /// t = rounds_served() + 1. Fails if exhausted or if called twice without
-  /// an intervening RecordOutcome.
+  /// t = rounds_served() + 1, marking it in flight. Fails if exhausted, if
+  /// the concurrency cap is reached, or if every remaining arm is already
+  /// in flight.
   Result<int> SelectArm();
 
-  /// Records the observed reward for the arm returned by the last
-  /// SelectArm call, updating the policy belief and the sigma~ recurrence.
+  /// Records the observed reward for an arm previously returned by
+  /// SelectArm, updating the policy belief and the sigma~ recurrence.
+  /// Completions may arrive in any order; each consumes the B_t captured
+  /// when its arm was selected.
   Status RecordOutcome(int arm, double reward);
 
-  /// Largest upper confidence bound over the remaining arms at the current
-  /// local round, read from the policy's diagnostics surface; -infinity
-  /// when exhausted.
+  /// Un-charges an in-flight arm without an observation (device failure,
+  /// job abort): the arm becomes selectable again and no belief or sigma~
+  /// state is touched. Fails like RecordOutcome when `arm` is not in
+  /// flight.
+  Status CancelSelection(int arm);
+
+  /// Largest upper confidence bound over the remaining arms (neither played
+  /// nor in flight) at the current local round, read from the policy's
+  /// batched diagnostics surface; -infinity when none remain.
   double MaxUcb() const;
 
   /// ease.ml's line-8 rule ingredient: gap between the largest UCB and the
@@ -101,8 +140,13 @@ class UserState {
   int num_played_ = 0;
   int rounds_served_ = 0;
 
-  int pending_arm_ = -1;       // arm selected, outcome not yet recorded
-  double pending_ucb_ = 0.0;   // B_t(a_t) captured at selection time
+  // Charged-but-unobserved bookkeeping. in_flight_ucb_[a] holds B_t(a)
+  // captured when arm a was selected, consumed by the sigma~ recurrence
+  // when its outcome arrives (in any order).
+  std::vector<bool> in_flight_;
+  std::vector<double> in_flight_ucb_;
+  int num_in_flight_ = 0;
+  int max_in_flight_ = 1;
 
   double best_reward_ = 0.0;
   double last_reward_ = 0.0;

@@ -1,0 +1,130 @@
+/// Determinism regression for the async selection pipeline (PR 3).
+///
+/// With D=1 the async path must reproduce the seed sequential path
+/// bit-identically. The golden constants below were dumped from the seed
+/// tree (single pending slot, before the in-flight table existed) on the
+/// fig09-flavored workload: DEEPLEARNING surrogate, HYBRID scheduling,
+/// cost-aware GP-UCB, default shared prior, 6 test users x 8 models, full
+/// campaign. Any drift in the assignment sequence or the
+/// BestModel/BestAccuracy trajectory is a behavioral regression of the
+/// selector refactor.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "core/multi_tenant_selector.h"
+#include "data/deeplearning.h"
+
+namespace easeml::core {
+namespace {
+
+constexpr int kUsers = 6;
+constexpr int kModels = 8;
+
+/// (tenant, model) hand-out order of the seed sequential selector.
+constexpr std::pair<int, int> kGoldenAssignments[] = {
+    {0, 7}, {1, 7}, {2, 7}, {3, 7}, {4, 7}, {5, 7}, {2, 0}, {5, 0}, {5, 3},
+    {5, 4}, {2, 3}, {2, 4}, {5, 5}, {5, 1}, {2, 5}, {0, 3}, {0, 4}, {0, 0},
+    {3, 3}, {1, 3}, {2, 1}, {4, 4}, {3, 0}, {3, 5}, {0, 1}, {5, 2}, {3, 4},
+    {1, 0}, {0, 5}, {1, 4}, {2, 2}, {1, 5}, {4, 3}, {4, 0}, {4, 5}, {3, 1},
+    {1, 1}, {2, 6}, {0, 6}, {5, 6}, {4, 1}, {0, 2}, {3, 6}, {3, 2}, {1, 6},
+    {4, 2}, {1, 2}, {4, 6}};
+
+/// BestAccuracy(served tenant) after each report, all 17 printed digits.
+constexpr double kGoldenBestAccTrajectory[] = {
+    0.49510283106872049, 0.77384353767188596, 0.69836735739158085,
+    0.54073766089912378, 0.6311940988580208,  0.90352382147831722,
+    0.69836735739158085, 1,                   1,
+    1,                   0.69836735739158085, 0.69921794457743369,
+    1,                   1,                   0.77862534376324755,
+    0.49510283106872049, 0.49510283106872049, 0.54867430026161756,
+    0.54073766089912378, 0.77384353767188596, 0.77862534376324755,
+    0.74256407735557273, 0.54073766089912378, 0.6065083548620942,
+    0.6128416878493147,  1,                   0.6065083548620942,
+    0.77384353767188596, 0.6128416878493147,  0.77384353767188596,
+    0.77862534376324755, 0.77384353767188596, 0.74256407735557273,
+    0.74256407735557273, 0.74256407735557273, 0.67451810850559413,
+    0.77384353767188596, 0.77862534376324755, 0.6128416878493147,
+    1,                   0.74256407735557273, 0.6128416878493147,
+    0.67451810850559413, 0.67451810850559413, 0.77384353767188596,
+    0.74266818661280787, 0.77384353767188596, 0.74266818661280787};
+
+constexpr int kGoldenBestModel[kUsers] = {1, 7, 5, 1, 2, 0};
+constexpr double kGoldenBestAcc[kUsers] = {
+    0.6128416878493147,  0.77384353767188596, 0.77862534376324755,
+    0.67451810850559413, 0.74266818661280787, 1};
+
+MultiTenantSelector MakeFig09Selector(const data::Dataset& ds) {
+  SelectorOptions opts;
+  opts.scheduler = SchedulerKind::kHybrid;
+  opts.cost_aware = true;
+  opts.num_devices = 1;
+  auto s = MultiTenantSelector::Create(opts);
+  EXPECT_TRUE(s.ok());
+  MultiTenantSelector selector = std::move(s).value();
+  for (int u = 0; u < kUsers; ++u) {
+    std::vector<double> costs(kModels);
+    for (int m = 0; m < kModels; ++m) costs[m] = ds.cost(u, m);
+    EXPECT_TRUE(selector.AddTenantWithDefaultPrior(kModels, costs).ok());
+  }
+  return selector;
+}
+
+/// Drives the campaign through the in-flight API: Next, then Report with
+/// the full issued assignment (ticket included), in completion order —
+/// with D=1 that IS the sequential order.
+void CheckGoldenTrace(MultiTenantSelector& selector,
+                      const data::Dataset& ds) {
+  const int total = kUsers * kModels;
+  ASSERT_EQ(static_cast<int>(std::size(kGoldenAssignments)), total);
+  ASSERT_EQ(static_cast<int>(std::size(kGoldenBestAccTrajectory)), total);
+  int step = 0;
+  while (!selector.Exhausted()) {
+    ASSERT_LT(step, total);
+    auto a = selector.Next();
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_EQ(a->tenant, kGoldenAssignments[step].first) << "step " << step;
+    EXPECT_EQ(a->model, kGoldenAssignments[step].second) << "step " << step;
+    EXPECT_EQ(a->id, step);  // tickets issue densely from 0
+    ASSERT_TRUE(
+        selector.Report(*a, ds.quality(a->tenant, a->model)).ok());
+    auto best = selector.BestAccuracy(a->tenant);
+    ASSERT_TRUE(best.ok());
+    // Bit-identical to the seed trajectory: == on doubles, no tolerance.
+    EXPECT_EQ(*best, kGoldenBestAccTrajectory[step]) << "step " << step;
+    ++step;
+  }
+  EXPECT_EQ(step, total);
+  for (int u = 0; u < kUsers; ++u) {
+    auto best_model = selector.BestModel(u);
+    auto best_acc = selector.BestAccuracy(u);
+    ASSERT_TRUE(best_model.ok());
+    ASSERT_TRUE(best_acc.ok());
+    EXPECT_EQ(*best_model, kGoldenBestModel[u]);
+    EXPECT_EQ(*best_acc, kGoldenBestAcc[u]);
+  }
+}
+
+TEST(AsyncDeterminismTest, SingleDeviceReproducesSeedSequentialTrace) {
+  auto ds = data::GenerateDeepLearning(data::DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  MultiTenantSelector selector = MakeFig09Selector(*ds);
+  CheckGoldenTrace(selector, *ds);
+}
+
+TEST(AsyncDeterminismTest, GoldenTraceIsStableAcrossRepeatedRuns) {
+  // The selector owns no hidden global state: a second campaign from a
+  // fresh selector must replay the identical trace.
+  auto ds = data::GenerateDeepLearning(data::DeepLearningOptions());
+  ASSERT_TRUE(ds.ok());
+  for (int rep = 0; rep < 2; ++rep) {
+    MultiTenantSelector selector = MakeFig09Selector(*ds);
+    CheckGoldenTrace(selector, *ds);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace easeml::core

@@ -76,6 +76,25 @@ TEST(TaskPoolTest, LifecycleTransitions) {
   EXPECT_DOUBLE_EQ(task->accuracy, 0.9);
 }
 
+TEST(TaskPoolTest, RequeueReturnsARunningTaskToPending) {
+  TaskPool pool;
+  auto ids = pool.AddUserTasks(0, {{"A", false, 0.0}});
+  ASSERT_TRUE(ids.ok());
+  const int id = (*ids)[0];
+  // Only running tasks can be requeued.
+  EXPECT_FALSE(pool.Requeue(id).ok());
+  ASSERT_TRUE(pool.MarkRunning(id).ok());
+  EXPECT_TRUE(pool.Requeue(id).ok());
+  auto task = pool.Get(id);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->state, TaskState::kPending);
+  // The full lifecycle restarts cleanly after a requeue.
+  EXPECT_TRUE(pool.MarkRunning(id).ok());
+  EXPECT_TRUE(pool.MarkDone(id, 0.9, 1.0).ok());
+  EXPECT_FALSE(pool.Requeue(id).ok());  // done tasks stay done
+  EXPECT_FALSE(pool.Requeue(99).ok());  // unknown id
+}
+
 TEST(TaskPoolTest, MarkDoneValidatesMetrics) {
   TaskPool pool;
   auto ids = pool.AddUserTasks(0, {{"A", false, 0.0}});

@@ -122,6 +122,43 @@ TEST(UserStateTest, EmpiricalBoundTightensOverRounds) {
   }
 }
 
+TEST(UserStateTest, CancelSelectionUnchargesTheArm) {
+  UserState u = MakeUser(0, 3);
+  EXPECT_FALSE(u.CancelSelection(0).ok());  // nothing pending
+  auto arm = u.SelectArm();
+  ASSERT_TRUE(arm.ok());
+  EXPECT_FALSE(u.CancelSelection((*arm + 1) % 3).ok());  // not that arm
+  ASSERT_TRUE(u.CancelSelection(*arm).ok());
+  // No observation happened; the arm is selectable again.
+  EXPECT_FALSE(u.has_pending());
+  EXPECT_EQ(u.rounds_served(), 0);
+  EXPECT_DOUBLE_EQ(u.consumed_cost(), 0.0);
+  EXPECT_EQ(u.AvailableArms().size(), 3u);
+  auto again = u.SelectArm();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *arm);  // same belief state, same choice
+  ASSERT_TRUE(u.RecordOutcome(*again, 0.5).ok());
+}
+
+TEST(UserStateTest, InFlightMaskAllowsConcurrentArms) {
+  UserState u = MakeUser(0, 4);
+  ASSERT_TRUE(u.set_max_in_flight(3).ok());
+  EXPECT_FALSE(u.set_max_in_flight(0).ok());
+  auto a = u.SelectArm();
+  auto b = u.SelectArm();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);  // charged arms are excluded from reselection
+  EXPECT_EQ(u.in_flight_count(), 2);
+  EXPECT_TRUE(u.InFlight(*a));
+  EXPECT_TRUE(u.Schedulable());  // a third slot and a third arm remain
+  // Out-of-order completion: report b before a.
+  ASSERT_TRUE(u.RecordOutcome(*b, 0.6).ok());
+  ASSERT_TRUE(u.RecordOutcome(*a, 0.4).ok());
+  EXPECT_EQ(u.rounds_served(), 2);
+  EXPECT_DOUBLE_EQ(u.best_reward(), 0.6);
+}
+
 TEST(UserStateTest, MaxUcbOverAvailableArms) {
   UserState u = MakeUser(0, 2);
   const double max_ucb = u.MaxUcb();
