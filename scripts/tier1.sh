@@ -8,7 +8,10 @@
 #   sanitizer presets:
 #     asan  — ASan+UBSan   (-DEASEML_SANITIZE=address,undefined)
 #     tsan  — ThreadSanitizer (-DEASEML_SANITIZE=thread), which races the
-#             async training executor and the multi-device pipeline
+#             async training executor, the multi-device pipeline, and the
+#             sharded selector engine (the shard conformance suite plus the
+#             concurrent Next/Report/Cancel/RemoveTenant churn battery in
+#             tests/shard/ run under every preset via ctest)
 #   Non-default configs use their own build directory (build-<config>) so
 #   the configurations never clobber each other.
 set -euo pipefail

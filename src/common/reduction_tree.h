@@ -1,0 +1,40 @@
+#ifndef EASEML_COMMON_REDUCTION_TREE_H_
+#define EASEML_COMMON_REDUCTION_TREE_H_
+
+#include <utility>
+#include <vector>
+
+namespace easeml {
+
+/// Deterministic binary reduction tree over per-shard summaries.
+///
+/// Folds `leaves` pairwise in rounds — (0,1), (2,3), ... with an odd
+/// trailing element carried up unchanged — until one value remains. The
+/// tree SHAPE is a pure function of the leaf count, never of thread timing,
+/// so a reduction over summaries produced by concurrent shard scans is
+/// reproducible run to run. When `merge` is additionally associative with a
+/// total-order tie-break (min-index argmax, exact integer sums,
+/// `ExactDoubleSum::Merge`), the result is independent of the partition
+/// itself — the property the sharded selector's bit-identical-replay
+/// guarantee rests on.
+///
+/// `merge` is invoked as `merge(left, right)` and must return the combined
+/// summary. An empty `leaves` is the caller's error; a single leaf is
+/// returned unchanged.
+template <typename T, typename Merge>
+T ReduceTree(std::vector<T> leaves, Merge merge) {
+  while (leaves.size() > 1) {
+    std::vector<T> next;
+    next.reserve((leaves.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      next.push_back(merge(std::move(leaves[i]), std::move(leaves[i + 1])));
+    }
+    if (leaves.size() % 2 == 1) next.push_back(std::move(leaves.back()));
+    leaves = std::move(next);
+  }
+  return std::move(leaves.front());
+}
+
+}  // namespace easeml
+
+#endif  // EASEML_COMMON_REDUCTION_TREE_H_

@@ -59,4 +59,11 @@ uint64_t Rng::NextSeed() {
   return dist(engine_);
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += kSplitMix64Gamma;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace easeml

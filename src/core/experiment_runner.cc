@@ -40,12 +40,11 @@ std::string StrategyName(StrategyKind kind) {
 
 namespace {
 
-/// SplitMix64-style mixing so per-repetition streams are independent.
+/// SplitMix64 mixing so per-repetition streams are independent. The gamma
+/// stride plus SplitMix64's own increment reproduce the historical
+/// `master + gamma * (rep + 1)` seeding bit-for-bit.
 uint64_t ChildSeed(uint64_t master, uint64_t rep) {
-  uint64_t z = master + 0x9e3779b97f4a7c15ULL * (rep + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return SplitMix64(master + kSplitMix64Gamma * rep);
 }
 
 bool UsesGpUcb(StrategyKind kind) {

@@ -1,6 +1,7 @@
 #include "core/multi_tenant_selector.h"
 
 #include <cmath>
+#include <mutex>
 
 #include "bandit/gp_ucb.h"
 #include "scheduler/fcfs.h"
@@ -27,8 +28,7 @@ std::string SchedulerKindName(SchedulerKind kind) {
   return "unknown";
 }
 
-namespace {
-std::unique_ptr<scheduler::SchedulerPolicy> MakeScheduler(
+std::unique_ptr<scheduler::SchedulerPolicy> MakeSchedulerPolicy(
     const SelectorOptions& options) {
   switch (options.scheduler) {
     case SchedulerKind::kHybrid:
@@ -45,7 +45,6 @@ std::unique_ptr<scheduler::SchedulerPolicy> MakeScheduler(
   }
   return nullptr;
 }
-}  // namespace
 
 Result<MultiTenantSelector> MultiTenantSelector::Create(
     const SelectorOptions& options) {
@@ -58,7 +57,10 @@ Result<MultiTenantSelector> MultiTenantSelector::Create(
   if (options.num_devices < 1) {
     return Status::InvalidArgument("Selector: num_devices must be >= 1");
   }
-  auto sched = MakeScheduler(options);
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("Selector: num_shards must be >= 1");
+  }
+  auto sched = MakeSchedulerPolicy(options);
   if (sched == nullptr) {
     return Status::InvalidArgument("Selector: unknown scheduler kind");
   }
@@ -74,7 +76,7 @@ Result<int> MultiTenantSelector::AddTenantWithBelief(
   EASEML_ASSIGN_OR_RETURN(
       std::unique_ptr<bandit::GpUcbPolicy> policy,
       bandit::GpUcbPolicy::CreateUnique(std::move(belief), std::move(ucb)));
-  const int id = num_tenants();
+  const int id = static_cast<int>(users_.size());
   EASEML_ASSIGN_OR_RETURN(
       scheduler::UserState state,
       scheduler::UserState::Create(id, std::move(policy), std::move(costs)));
@@ -83,6 +85,7 @@ Result<int> MultiTenantSelector::AddTenantWithBelief(
   EASEML_RETURN_NOT_OK(state.set_max_in_flight(options_.num_devices));
   users_.push_back(std::move(state));
   best_model_.push_back(-1);
+  OnTenantAdded(id);
   return id;
 }
 
@@ -111,13 +114,58 @@ Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
   if (!(noise_variance > 0.0)) {
     return Status::InvalidArgument("AddTenant: noise variance must be > 0");
   }
-  auto& prior = default_priors_[{num_models, noise_variance}];
-  if (prior == nullptr) {
-    EASEML_ASSIGN_OR_RETURN(
-        prior, gp::MakeSharedGpPrior(linalg::Matrix::Identity(num_models),
-                                     noise_variance));
+  // Process-wide cache, one prior per (K, noise variance). Mutex-guarded
+  // because concurrent shard setup reaches it; weak_ptr entries let a prior
+  // die with its last tenant instead of pinning the Gram matrix forever.
+  // Leaked intentionally: worker threads may still touch it during static
+  // destruction.
+  static std::mutex* cache_mu = new std::mutex;
+  static auto* cache = new std::map<
+      std::pair<int, double>, std::weak_ptr<const gp::SharedGpPrior>>;
+  std::shared_ptr<const gp::SharedGpPrior> prior;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu);
+    std::weak_ptr<const gp::SharedGpPrior>& slot =
+        (*cache)[{num_models, noise_variance}];
+    prior = slot.lock();
+    if (prior == nullptr) {
+      // Sweep other expired slots while rebuilding, so the cache stays
+      // bounded by the LIVE (K, noise) shapes, not every shape ever seen.
+      for (auto it = cache->begin(); it != cache->end();) {
+        if (it->second.expired()) {
+          it = cache->erase(it);
+        } else {
+          ++it;
+        }
+      }
+      EASEML_ASSIGN_OR_RETURN(
+          prior, gp::MakeSharedGpPrior(linalg::Matrix::Identity(num_models),
+                                       noise_variance));
+      (*cache)[{num_models, noise_variance}] = prior;
+    }
   }
-  return AddTenant(prior, std::move(costs));
+  // Qualified call: the engine's public override already holds its lock
+  // when it reaches this base implementation.
+  return MultiTenantSelector::AddTenant(std::move(prior), std::move(costs));
+}
+
+Status MultiTenantSelector::RemoveTenant(int tenant) {
+  EASEML_RETURN_NOT_OK(ValidateTenant(tenant));
+  scheduler::UserState& user = users_[tenant];
+  if (user.retired()) {
+    return Status::FailedPrecondition("RemoveTenant: tenant " +
+                                      std::to_string(tenant) +
+                                      " was already removed");
+  }
+  if (user.has_pending()) {
+    return Status::FailedPrecondition(
+        "RemoveTenant: tenant " + std::to_string(tenant) + " has " +
+        std::to_string(user.in_flight_count()) +
+        " in-flight ticket(s); Report or Cancel them first");
+  }
+  user.Retire();
+  OnTenantRemoved(tenant);
+  return Status::OK();
 }
 
 bool MultiTenantSelector::Exhausted() const {
@@ -129,51 +177,66 @@ bool MultiTenantSelector::Exhausted() const {
 }
 
 bool MultiTenantSelector::HasDispatchableWork() const {
-  if (num_in_flight() >= options_.num_devices) return false;
+  if (static_cast<int>(in_flight_.size()) >= options_.num_devices) {
+    return false;
+  }
   for (const auto& u : users_) {
     if (u.Schedulable()) return true;
   }
   return false;
 }
 
-Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
-  if (users_.empty()) {
-    return Status::FailedPrecondition("Next: no tenants registered");
-  }
-  if (num_in_flight() >= options_.num_devices) {
-    return Status::FailedPrecondition(
-        "Next: all " + std::to_string(options_.num_devices) +
-        " device slots are occupied; report a completion first");
-  }
-  int tenant = -1;
+Result<int> MultiTenantSelector::PickTenant(int round) {
   // Initialization sweep (Algorithm 2 lines 1-4): any tenant without an
   // observation is served first, in registration order. A tenant whose
   // first run is still in flight is already charged — skip it, or the
   // sweep would hand its second model out before the first observation.
   for (const auto& u : users_) {
     if (!u.has_observations() && !u.has_pending() && !u.Exhausted()) {
-      tenant = u.user_id();
+      return u.user_id();
+    }
+  }
+  bool any_schedulable = false;
+  for (const auto& u : users_) {
+    if (u.Schedulable()) {
+      any_schedulable = true;
       break;
     }
   }
-  if (tenant < 0) {
-    bool any_schedulable = false;
-    for (const auto& u : users_) {
-      if (u.Schedulable()) {
-        any_schedulable = true;
-        break;
-      }
-    }
-    if (!any_schedulable) {
-      return in_flight_.empty()
-                 ? Status::FailedPrecondition("Next: all tenants exhausted")
-                 : Status::FailedPrecondition(
-                       "Next: every remaining model is in flight; report a "
-                       "completion first");
-    }
-    EASEML_ASSIGN_OR_RETURN(tenant, scheduler_->PickUser(users_, round_ + 1));
+  if (!any_schedulable) {
+    return in_flight_.empty()
+               ? Status::FailedPrecondition("Next: all tenants exhausted")
+               : Status::FailedPrecondition(
+                     "Next: every remaining model is in flight; report a "
+                     "completion first");
   }
-  EASEML_ASSIGN_OR_RETURN(int model, users_[tenant].SelectArm());
+  return scheduler_->PickUser(users_, round);
+}
+
+Result<int> MultiTenantSelector::SelectArmFor(int tenant) {
+  return users_[tenant].SelectArm();
+}
+
+Status MultiTenantSelector::RecordOutcomeFor(int tenant, int model,
+                                             double reward) {
+  return users_[tenant].RecordOutcome(model, reward);
+}
+
+Status MultiTenantSelector::CancelSelectionFor(int tenant, int model) {
+  return users_[tenant].CancelSelection(model);
+}
+
+Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
+  if (users_.empty()) {
+    return Status::FailedPrecondition("Next: no tenants registered");
+  }
+  if (static_cast<int>(in_flight_.size()) >= options_.num_devices) {
+    return Status::FailedPrecondition(
+        "Next: all " + std::to_string(options_.num_devices) +
+        " device slots are occupied; report a completion first");
+  }
+  EASEML_ASSIGN_OR_RETURN(int tenant, PickTenant(round_ + 1));
+  EASEML_ASSIGN_OR_RETURN(int model, SelectArmFor(tenant));
   Assignment assignment;
   assignment.tenant = tenant;
   assignment.model = model;
@@ -219,7 +282,7 @@ Status MultiTenantSelector::Report(const Assignment& assignment,
   const Assignment issued = it->second;
   const double before = users_[issued.tenant].best_reward();
   EASEML_RETURN_NOT_OK(
-      users_[issued.tenant].RecordOutcome(issued.model, accuracy));
+      RecordOutcomeFor(issued.tenant, issued.model, accuracy));
   if (accuracy > before || best_model_[issued.tenant] < 0) {
     best_model_[issued.tenant] = issued.model;
   }
@@ -232,7 +295,7 @@ Status MultiTenantSelector::Report(const Assignment& assignment,
 Status MultiTenantSelector::Cancel(const Assignment& assignment) {
   EASEML_ASSIGN_OR_RETURN(auto it, FindIssuedEntry(assignment));
   const Assignment issued = it->second;
-  EASEML_RETURN_NOT_OK(users_[issued.tenant].CancelSelection(issued.model));
+  EASEML_RETURN_NOT_OK(CancelSelectionFor(issued.tenant, issued.model));
   in_flight_.erase(it);
   return Status::OK();
 }
@@ -248,7 +311,7 @@ Result<MultiTenantSelector::Assignment> MultiTenantSelector::InFlightAssignment(
 }
 
 Status MultiTenantSelector::ValidateTenant(int tenant) const {
-  if (tenant < 0 || tenant >= num_tenants()) {
+  if (tenant < 0 || tenant >= static_cast<int>(users_.size())) {
     return Status::OutOfRange("tenant id out of range");
   }
   return Status::OK();

@@ -47,7 +47,23 @@ struct SelectorOptions {
   /// resource model ("use all its GPUs to train a single model") and
   /// reproduces the sequential Next/Report protocol bit-identically.
   int num_devices = 1;
+
+  /// Number of selector shards for the parallel user-picking engine. 1
+  /// (the default) is the in-process sequential scan; values > 1 select
+  /// `shard::ShardedMultiTenantSelector` when the selector is built
+  /// through `shard::MakeSelector` — tenants are hash-partitioned across
+  /// that many worker threads and every `Next()` scan fans out over them,
+  /// reduced deterministically so the selection trace stays bit-identical
+  /// to the sequential engine. Plain `MultiTenantSelector::Create` ignores
+  /// the field (it IS the 1-shard engine).
+  int num_shards = 1;
 };
+
+/// Builds the scheduler policy `options` selects (nullptr for an unknown
+/// kind). Shared by the sequential selector and the sharded engine so both
+/// run byte-identical policy state.
+std::unique_ptr<scheduler::SchedulerPolicy> MakeSchedulerPolicy(
+    const SelectorOptions& options);
 
 /// The core public API of this library: ease.ml's multi-tenant, cost-aware
 /// model-selection engine (Section 4) behind a pull interface.
@@ -90,6 +106,18 @@ struct SelectorOptions {
 /// distinct FailedPrecondition when every remaining model is in flight
 /// (drain completions first). Tenants added after the loop started are
 /// picked up by the initialization sweep on their first rounds.
+///
+/// ## Engine seams
+///
+/// The class doubles as the base of the sharded engine
+/// (`shard::ShardedMultiTenantSelector`): the ticketed protocol above is
+/// final, while the protected virtuals below — how the next tenant is
+/// picked, where a tenant's arm selection / belief fold executes — are the
+/// points the sharded engine overrides to fan work out over its shard
+/// workers. `Create` ignores `num_shards`; build through
+/// `shard::MakeSelector` to honor it. The base engine is single-threaded
+/// (external synchronization required); the sharded override of every
+/// public method is thread-safe.
 class MultiTenantSelector {
  public:
   /// A unit of work: train model `model` for tenant `tenant`. `id` is the
@@ -103,33 +131,60 @@ class MultiTenantSelector {
 
   static Result<MultiTenantSelector> Create(const SelectorOptions& options);
 
+  virtual ~MultiTenantSelector() = default;
+  // Public moves keep the historical by-value usage working
+  // (`Create(...).value()`, selectors held as members). CAUTION: the class
+  // is also a polymorphic base — moving through a base reference/pointer
+  // that actually designates a ShardedMultiTenantSelector would slice off
+  // the shard engine. Engines built via `shard::MakeSelector` live behind
+  // `unique_ptr` precisely so they are never moved as base values.
+  MultiTenantSelector(MultiTenantSelector&&) = default;
+  MultiTenantSelector& operator=(MultiTenantSelector&&) = default;
+  MultiTenantSelector(const MultiTenantSelector&) = delete;
+  MultiTenantSelector& operator=(const MultiTenantSelector&) = delete;
+
   /// Registers a tenant against a shared GP prior (the preferred path: the
   /// Gram matrix is allocated once and shared by every tenant created from
   /// it) with per-model costs (one positive cost per arm). Returns the
   /// tenant id.
-  Result<int> AddTenant(std::shared_ptr<const gp::SharedGpPrior> prior,
-                        std::vector<double> costs);
+  virtual Result<int> AddTenant(std::shared_ptr<const gp::SharedGpPrior> prior,
+                                std::vector<double> costs);
 
   /// Registers a tenant with a private dense belief (O(K^2) state; kept for
   /// callers that need a tenant-specific prior covariance).
-  Result<int> AddTenant(gp::DiscreteArmGp belief, std::vector<double> costs);
+  virtual Result<int> AddTenant(gp::DiscreteArmGp belief,
+                                std::vector<double> costs);
 
   /// Registers a tenant with an uninformative independent prior
   /// (unit-variance diagonal) — used when no training logs exist yet. The
-  /// default prior is built once per (num_models, noise_variance) and
-  /// shared across all tenants of this selector.
-  Result<int> AddTenantWithDefaultPrior(int num_models,
-                                        std::vector<double> costs,
-                                        double noise_variance = 1e-2);
+  /// default prior is built once per (num_models, noise_variance) in a
+  /// process-wide, mutex-guarded cache (concurrent shard setup reaches it)
+  /// and shared by every tenant and selector requesting that shape.
+  virtual Result<int> AddTenantWithDefaultPrior(int num_models,
+                                               std::vector<double> costs,
+                                               double noise_variance = 1e-2);
 
-  int num_tenants() const { return static_cast<int>(users_.size()); }
+  /// Retires a tenant: it is never scheduled again, its belief memory is
+  /// released, and its shard slot is vacated (the sharded engine
+  /// rebalances). Refused with FailedPrecondition while the tenant has
+  /// in-flight tickets — `Report` or `Cancel` them first — or when it was
+  /// already removed; OutOfRange for ids never issued. Historical
+  /// read-side queries (BestModel, BestAccuracy, RoundsServed) stay
+  /// answerable after removal. Tenant ids are never reused.
+  virtual Status RemoveTenant(int tenant);
+
+  /// Registered tenants, INCLUDING removed ones (ids are stable).
+  virtual int num_tenants() const { return static_cast<int>(users_.size()); }
 
   /// True when every tenant has trained every candidate model (in-flight
-  /// assignments keep the selector non-exhausted until reported).
-  bool Exhausted() const;
+  /// assignments keep the selector non-exhausted until reported; removed
+  /// tenants count as done).
+  virtual bool Exhausted() const;
 
   /// Number of outstanding (issued, not yet reported) assignments.
-  int num_in_flight() const { return static_cast<int>(in_flight_.size()); }
+  virtual int num_in_flight() const {
+    return static_cast<int>(in_flight_.size());
+  }
 
   /// Configured device count (max outstanding assignments).
   int num_devices() const { return options_.num_devices; }
@@ -137,49 +192,86 @@ class MultiTenantSelector {
   /// True iff `Next()` would hand out an assignment right now: a device
   /// slot is free and some tenant has an un-charged model remaining. False
   /// while everything remaining is in flight — drain completions and retry.
-  bool HasDispatchableWork() const;
+  virtual bool HasDispatchableWork() const;
 
   /// Picks the next (tenant, model) to train and marks it in flight. Fails
   /// with FailedPrecondition when all `num_devices` slots are occupied,
   /// when every remaining model is in flight, or when all tenants are
   /// exhausted.
-  Result<Assignment> Next();
+  virtual Result<Assignment> Next();
 
   /// Reports the measured accuracy of a completed assignment; completions
   /// may arrive in any order. See the class comment for the Status-code
   /// taxonomy of rejected reports.
-  Status Report(const Assignment& assignment, double accuracy);
+  virtual Status Report(const Assignment& assignment, double accuracy);
 
   /// Returns a live ticket without an observation (device failure, job
   /// abort): the (tenant, model) becomes dispatchable again as if never
   /// handed out. Validates exactly like `Report`.
-  Status Cancel(const Assignment& assignment);
+  virtual Status Cancel(const Assignment& assignment);
 
   /// The issued in-flight assignment for a live ticket; NotFound when the
   /// ticket is not outstanding. This is the authoritative in-flight record
   /// — executors correlate completions through it instead of keeping their
   /// own table.
-  Result<Assignment> InFlightAssignment(int64_t ticket) const;
+  virtual Result<Assignment> InFlightAssignment(int64_t ticket) const;
 
   /// Best model trained so far for `tenant` (what `infer` serves);
   /// NotFound before the first completed run.
-  Result<int> BestModel(int tenant) const;
+  virtual Result<int> BestModel(int tenant) const;
 
   /// Best observed accuracy for `tenant`; 0 before the first run.
-  Result<double> BestAccuracy(int tenant) const;
+  virtual Result<double> BestAccuracy(int tenant) const;
 
   /// Rounds served so far for `tenant`.
-  Result<int> RoundsServed(int tenant) const;
+  virtual Result<int> RoundsServed(int tenant) const;
 
+  /// Read access to the scheduler policy (diagnostics: hybrid switch
+  /// state, greedy rule). NOT covered by the sharded engine's
+  /// thread-safety guarantee — the returned reference outlives any lock,
+  /// so only inspect it while no other thread is driving the selector.
   const scheduler::SchedulerPolicy& scheduler_policy() const {
     return *scheduler_;
   }
 
- private:
-  explicit MultiTenantSelector(const SelectorOptions& options,
-                               std::unique_ptr<scheduler::SchedulerPolicy> s)
+ protected:
+  MultiTenantSelector(const SelectorOptions& options,
+                      std::unique_ptr<scheduler::SchedulerPolicy> s)
       : options_(options), scheduler_(std::move(s)) {}
 
+  // --- Engine seams -------------------------------------------------------
+  //
+  // Called from within the public methods above while the engine's
+  // synchronization (none here; the selector lock in the sharded engine) is
+  // already in effect, so overrides must not re-enter the public API.
+
+  /// Picks the tenant to serve at global round `round`: the initialization
+  /// sweep (Algorithm 2 lines 1-4, registration order) first, then the
+  /// scheduler policy. The sharded engine fans both scans out over its
+  /// shards with a deterministic reduction.
+  virtual Result<int> PickTenant(int round);
+
+  /// Runs `users()[tenant].SelectArm()`; the sharded engine routes the call
+  /// to the shard worker owning the tenant.
+  virtual Result<int> SelectArmFor(int tenant);
+
+  /// Runs `users()[tenant].RecordOutcome(model, reward)`; routed likewise.
+  virtual Status RecordOutcomeFor(int tenant, int model, double reward);
+
+  /// Runs `users()[tenant].CancelSelection(model)`; routed likewise.
+  virtual Status CancelSelectionFor(int tenant, int model);
+
+  /// Notification hooks for shard-map maintenance.
+  virtual void OnTenantAdded(int tenant) { (void)tenant; }
+  virtual void OnTenantRemoved(int tenant) { (void)tenant; }
+
+  const SelectorOptions& options() const { return options_; }
+  std::vector<scheduler::UserState>& users() { return users_; }
+  const std::vector<scheduler::UserState>& users() const { return users_; }
+  scheduler::SchedulerPolicy& scheduler() { return *scheduler_; }
+  const std::map<int64_t, Assignment>& in_flight() const { return in_flight_; }
+
+ private:
   Status ValidateTenant(int tenant) const;
   Result<int> AddTenantWithBelief(std::unique_ptr<gp::ArmBelief> belief,
                                   std::vector<double> costs);
@@ -192,9 +284,6 @@ class MultiTenantSelector {
   SelectorOptions options_;
   std::unique_ptr<scheduler::SchedulerPolicy> scheduler_;
   std::vector<scheduler::UserState> users_;
-  /// Default priors, shared across tenants, keyed by (K, noise variance).
-  std::map<std::pair<int, double>, std::shared_ptr<const gp::SharedGpPrior>>
-      default_priors_;
   std::vector<int> best_model_;  // -1 until first report
   /// Outstanding assignments keyed by ticket id.
   std::map<int64_t, Assignment> in_flight_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "platform/templates.h"
+#include "shard/sharded_selector.h"
 
 namespace easeml::platform {
 
@@ -15,8 +16,11 @@ Result<EaseMlService> EaseMlService::Create(const Options& options) {
     return Status::InvalidArgument(
         "EaseMlService: noisy_label_fraction out of [0,1]");
   }
-  EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector selector,
-                          core::MultiTenantSelector::Create(options.selector));
+  // `shard::MakeSelector` honors selector.num_shards: the sequential
+  // engine at 1, the shard-parallel engine above — same ticketed protocol,
+  // bit-identical selection traces.
+  EASEML_ASSIGN_OR_RETURN(std::unique_ptr<core::MultiTenantSelector> selector,
+                          shard::MakeSelector(options.selector));
   return EaseMlService(options, std::move(selector));
 }
 
@@ -57,7 +61,7 @@ Result<int> EaseMlService::SubmitJob(const std::string& program_text,
     costs.push_back(info.relative_cost);
   }
   EASEML_ASSIGN_OR_RETURN(
-      int tenant, selector_.AddTenantWithDefaultPrior(
+      int tenant, selector_->AddTenantWithDefaultPrior(
                       static_cast<int>(job.candidates.size()), costs));
   if (tenant != job_id) {
     return Status::Internal("SubmitJob: tenant/job id mismatch");
@@ -120,7 +124,7 @@ Result<InferReport> EaseMlService::Infer(int job) const {
   InferReport report;
   report.model_name = best.candidate.DisplayName();
   report.accuracy = best.accuracy;
-  EASEML_ASSIGN_OR_RETURN(report.rounds_served, selector_.RoundsServed(job));
+  EASEML_ASSIGN_OR_RETURN(report.rounds_served, selector_->RoundsServed(job));
   return report;
 }
 
@@ -140,7 +144,7 @@ Result<AsyncTrainingJob> EaseMlService::MakeTrainingJob(
 
 Result<Task> EaseMlService::Step() {
   EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment assignment,
-                          selector_.Next());
+                          selector_->Next());
   EASEML_ASSIGN_OR_RETURN(AsyncTrainingJob spec, MakeTrainingJob(assignment));
   const int task_id = jobs_[assignment.tenant].task_ids[assignment.model];
   EASEML_RETURN_NOT_OK(pool_.MarkRunning(task_id));
@@ -149,19 +153,19 @@ Result<Task> EaseMlService::Step() {
       executor_.Train(spec.model, spec.candidate, spec.profile));
   EASEML_RETURN_NOT_OK(
       pool_.MarkDone(task_id, outcome.accuracy, outcome.duration));
-  EASEML_RETURN_NOT_OK(selector_.Report(assignment, outcome.accuracy));
+  EASEML_RETURN_NOT_OK(selector_->Report(assignment, outcome.accuracy));
   return pool_.Get(task_id);
 }
 
 Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
                                                double seconds_per_cost_unit) {
-  if (selector_.num_in_flight() > 0) {
+  if (selector_->num_in_flight() > 0) {
     return Status::FailedPrecondition(
         "RunAsync: selector already has in-flight assignments");
   }
   AsyncTrainingExecutor::Options options;
   options.num_workers =
-      num_workers > 0 ? num_workers : selector_.num_devices();
+      num_workers > 0 ? num_workers : selector_->num_devices();
   options.executor = options_.executor;
   options.seconds_per_cost_unit = seconds_per_cost_unit;
   EASEML_ASSIGN_OR_RETURN(std::unique_ptr<AsyncTrainingExecutor> pool,
@@ -180,30 +184,30 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
     // Fill every free device slot before blocking on a completion. The
     // selector's in-flight table is the one source of truth for what is
     // running; completions are correlated through its tickets.
-    while (first_error.ok() && selector_.HasDispatchableWork()) {
+    while (first_error.ok() && selector_->HasDispatchableWork()) {
       EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment a,
-                              selector_.Next());
+                              selector_->Next());
       // Any dispatch failure after Next must unwind what already
       // happened (return the ticket, un-run the task) and then keep
       // DRAINING — an early return would abandon the other in-flight
       // tickets and wedge every future campaign.
       auto spec = MakeTrainingJob(a);
       if (!spec.ok()) {
-        EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+        EASEML_RETURN_NOT_OK(selector_->Cancel(a));
         first_error = spec.status();
         break;
       }
       const int task_id = jobs_[a.tenant].task_ids[a.model];
       Status running = pool_.MarkRunning(task_id);
       if (!running.ok()) {
-        EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+        EASEML_RETURN_NOT_OK(selector_->Cancel(a));
         first_error = running;
         break;
       }
       Status submitted = pool->Submit(std::move(*spec));
       if (!submitted.ok()) {
         EASEML_RETURN_NOT_OK(pool_.Requeue(task_id));
-        EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+        EASEML_RETURN_NOT_OK(selector_->Cancel(a));
         first_error = submitted;
         break;
       }
@@ -213,17 +217,17 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
     EASEML_ASSIGN_OR_RETURN(AsyncTrainingCompletion done,
                             pool->WaitCompletion());
     EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment a,
-                            selector_.InFlightAssignment(done.job_id));
+                            selector_->InFlightAssignment(done.job_id));
     const int task_id = jobs_[a.tenant].task_ids[a.model];
     if (!done.status.ok()) {
       EASEML_RETURN_NOT_OK(pool_.Requeue(task_id));
-      EASEML_RETURN_NOT_OK(selector_.Cancel(a));
+      EASEML_RETURN_NOT_OK(selector_->Cancel(a));
       if (first_error.ok()) first_error = done.status;
       continue;
     }
     EASEML_RETURN_NOT_OK(pool_.MarkDone(task_id, done.outcome.accuracy,
                                         done.outcome.duration));
-    EASEML_RETURN_NOT_OK(selector_.Report(a, done.outcome.accuracy));
+    EASEML_RETURN_NOT_OK(selector_->Report(a, done.outcome.accuracy));
     ++report.steps;
   }
   // The successful runs of a failed campaign were Reported and MarkDone'd,

@@ -1,7 +1,9 @@
 #ifndef EASEML_PLATFORM_SERVICE_H_
 #define EASEML_PLATFORM_SERVICE_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +47,11 @@ struct AsyncRunReport {
 class EaseMlService {
  public:
   struct Options {
+    /// Selector engine configuration. `selector.num_shards > 1` selects the
+    /// sharded engine (`shard::ShardedMultiTenantSelector`): every `Next()`
+    /// user scan fans out over that many shard workers, with the selection
+    /// trace bit-identical to the sequential engine. `selector.num_devices`
+    /// sizes the async pipeline as before; the two compose.
     core::SelectorOptions selector;
     SimulatedTrainingExecutor::Options executor;
     /// Fraction of fed examples whose labels are noisy (weak supervision).
@@ -105,7 +112,7 @@ class EaseMlService {
                                   double seconds_per_cost_unit = 0.0);
 
   /// True when every job has trained all its candidates.
-  bool Exhausted() const { return selector_.Exhausted(); }
+  bool Exhausted() const { return selector_->Exhausted(); }
 
   /// Candidate models generated for a job by template matching (+
   /// normalization expansion).
@@ -129,7 +136,8 @@ class EaseMlService {
     double dynamic_range = 100.0;
   };
 
-  EaseMlService(const Options& options, core::MultiTenantSelector selector)
+  EaseMlService(const Options& options,
+                std::unique_ptr<core::MultiTenantSelector> selector)
       : options_(options),
         selector_(std::move(selector)),
         executor_(options.executor),
@@ -147,7 +155,10 @@ class EaseMlService {
   double EffectiveExamples(const JobInfo& job) const;
 
   Options options_;
-  core::MultiTenantSelector selector_;
+  /// Sequential or sharded engine, per `Options::selector.num_shards`
+  /// (built by `shard::MakeSelector`); both speak the same ticketed
+  /// protocol with bit-identical selection traces.
+  std::unique_ptr<core::MultiTenantSelector> selector_;
   SimulatedTrainingExecutor executor_;
   Rng rng_;
   TaskPool pool_;

@@ -1,5 +1,10 @@
 #include "scheduler/fcfs.h"
 
+#include <algorithm>
+#include <limits>
+
+#include "common/reduction_tree.h"
+
 namespace easeml::scheduler {
 
 Result<int> FcfsScheduler::PickUser(const std::vector<UserState>& users,
@@ -9,6 +14,29 @@ Result<int> FcfsScheduler::PickUser(const std::vector<UserState>& users,
     if (users[i].Schedulable()) return static_cast<int>(i);
   }
   return Status::FailedPrecondition("FCFS: all users exhausted");
+}
+
+Result<int> FcfsScheduler::PickUserSharded(const std::vector<UserState>& users,
+                                           int round, ShardScan& scan) {
+  (void)round;
+  constexpr int kNone = std::numeric_limits<int>::max();
+  // Per-shard summary: the lowest schedulable local id (locals ascend, so
+  // the first hit is the shard minimum); min-reduce = the sequential pick.
+  std::vector<int> first(scan.num_shards(), kNone);
+  scan.Run([&](int shard) {
+    for (int t : scan.LocalTenants(shard)) {
+      if (users[t].Schedulable()) {
+        first[shard] = t;
+        break;
+      }
+    }
+  });
+  const int winner =
+      ReduceTree(std::move(first), [](int a, int b) { return std::min(a, b); });
+  if (winner == kNone) {
+    return Status::FailedPrecondition("FCFS: all users exhausted");
+  }
+  return winner;
 }
 
 }  // namespace easeml::scheduler

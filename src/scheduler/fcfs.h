@@ -15,6 +15,9 @@ class FcfsScheduler : public SchedulerPolicy {
  public:
   Result<int> PickUser(const std::vector<UserState>& users,
                        int round) override;
+  /// Min-reduce of each shard's lowest schedulable user id.
+  Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
+                              ShardScan& scan) override;
   std::string name() const override { return "fcfs"; }
 };
 

@@ -14,6 +14,12 @@ namespace easeml::scheduler {
 /// confidence bound sigma~ is at least the average over active users.
 /// Users without observations yet (infinite sigma~) are always candidates.
 /// Returns an empty vector when no user is active.
+///
+/// The threshold test is evaluated EXACTLY (`ExactDoubleSum`): membership
+/// is "sigma~ · finite_count >= exact sum of finite bounds", which is
+/// independent of accumulation order — the property that lets a sharded
+/// scan partition the users arbitrarily and still reproduce this set
+/// bit-identically.
 std::vector<int> ComputeCandidateSet(const std::vector<UserState>& users);
 
 /// How line 8 of Algorithm 2 picks one user from the candidate set. The
@@ -47,6 +53,11 @@ class GreedyScheduler : public SchedulerPolicy {
 
   Result<int> PickUser(const std::vector<UserState>& users,
                        int round) override;
+  /// Two-barrier sharded scan: (A) exact candidate-threshold statistics,
+  /// (B) per-shard line-8 argmax over local candidates — the O(T·K) batched
+  /// MaxUcb reads — merged with a (key, lowest-id) total order.
+  Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
+                              ShardScan& scan) override;
   bool RequiresInitialSweep() const override { return true; }
   std::string name() const override { return "greedy"; }
 

@@ -16,6 +16,12 @@ Result<int> HybridScheduler::PickUser(const std::vector<UserState>& users,
   return greedy_.PickUser(users, round);
 }
 
+Result<int> HybridScheduler::PickUserSharded(
+    const std::vector<UserState>& users, int round, ShardScan& scan) {
+  if (switched_) return round_robin_.PickUserSharded(users, round, scan);
+  return greedy_.PickUserSharded(users, round, scan);
+}
+
 void HybridScheduler::OnOutcome(const std::vector<UserState>& users,
                                 int served_user) {
   (void)served_user;

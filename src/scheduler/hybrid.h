@@ -25,6 +25,11 @@ class HybridScheduler : public SchedulerPolicy {
 
   Result<int> PickUser(const std::vector<UserState>& users,
                        int round) override;
+  /// Delegates to the active phase's sharded scan (GREEDY before the
+  /// freeze, ROUNDROBIN after); the freeze detector itself runs in
+  /// OnOutcome on the coordinator, identically on both paths.
+  Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
+                              ShardScan& scan) override;
   void OnOutcome(const std::vector<UserState>& users,
                  int served_user) override;
   bool RequiresInitialSweep() const override { return true; }

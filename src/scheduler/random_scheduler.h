@@ -14,6 +14,10 @@ class RandomScheduler : public SchedulerPolicy {
 
   Result<int> PickUser(const std::vector<UserState>& users,
                        int round) override;
+  /// Order-preserving merge of the shards' active lists, then the same
+  /// single uniform draw as the sequential pick (identical RNG stream).
+  Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
+                              ShardScan& scan) override;
   std::string name() const override { return "random"; }
 
  private:

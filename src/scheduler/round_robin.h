@@ -11,6 +11,10 @@ class RoundRobinScheduler : public SchedulerPolicy {
  public:
   Result<int> PickUser(const std::vector<UserState>& users,
                        int round) override;
+  /// Min-reduce of each shard's schedulable user closest (cyclically) to
+  /// the cursor; advances the cursor exactly like the sequential walk.
+  Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
+                              ShardScan& scan) override;
   std::string name() const override { return "round-robin"; }
 
  private:

@@ -39,7 +39,13 @@ Status UserState::set_max_in_flight(int cap) {
   return Status::OK();
 }
 
+void UserState::Retire() {
+  retired_ = true;
+  policy_.reset();  // drop the O(t²) belief; history fields stay readable
+}
+
 std::vector<int> UserState::AvailableArms() const {
+  if (retired_) return {};
   std::vector<int> arms;
   arms.reserve(played_.size() - num_played_);
   for (int a = 0; a < num_models(); ++a) {

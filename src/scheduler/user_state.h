@@ -48,8 +48,20 @@ class UserState {
   int rounds_served() const { return rounds_served_; }
 
   /// True when every arm has been played (in-flight arms do not count:
-  /// their outcome has not been recorded yet).
-  bool Exhausted() const { return num_played_ == num_models(); }
+  /// their outcome has not been recorded yet). Retired users are exhausted
+  /// by definition — nothing of theirs may be scheduled again.
+  bool Exhausted() const { return retired_ || num_played_ == num_models(); }
+
+  /// True once `Retire()` ran: the tenant left the system. Observed
+  /// history (best reward, rounds served, consumed cost) stays readable;
+  /// the policy belief is released and `policy()` must not be called.
+  bool retired() const { return retired_; }
+
+  /// Removes the user from scheduling permanently and frees its belief
+  /// state (the O(t²) posterior is the dominant per-tenant allocation).
+  /// Precondition: no selection is in flight (`!has_pending()`); the
+  /// selector enforces this with FailedPrecondition before routing here.
+  void Retire();
 
   /// True while at least one selection is outstanding (SelectArm called,
   /// outcome not yet recorded) — e.g. a training job in flight on some
@@ -71,12 +83,12 @@ class UserState {
   /// current in-flight count is allowed — it only blocks new selections.
   Status set_max_in_flight(int cap);
 
-  /// True iff a scheduler may serve this user now: an un-played, un-charged
-  /// arm remains and a device slot is free under the concurrency cap.
-  /// Single-device loops never observe a pending user at scheduling time,
-  /// so this reduces to !Exhausted() there.
+  /// True iff a scheduler may serve this user now: not retired, an
+  /// un-played, un-charged arm remains and a device slot is free under the
+  /// concurrency cap. Single-device loops never observe a pending user at
+  /// scheduling time, so this reduces to !Exhausted() there.
   bool Schedulable() const {
-    return num_in_flight_ < max_in_flight_ &&
+    return !retired_ && num_in_flight_ < max_in_flight_ &&
            num_played_ + num_in_flight_ < num_models();
   }
 
@@ -125,6 +137,8 @@ class UserState {
   /// best accuracy observed so far.
   double UcbGap() const { return MaxUcb() - best_reward_; }
 
+  /// The tenant's model-picking policy. Precondition: `!retired()` —
+  /// retiring releases the belief.
   const bandit::BanditPolicy& policy() const { return *policy_; }
 
   double ArmCost(int arm) const { return costs_[arm]; }
@@ -147,6 +161,7 @@ class UserState {
   std::vector<double> in_flight_ucb_;
   int num_in_flight_ = 0;
   int max_in_flight_ = 1;
+  bool retired_ = false;
 
   double best_reward_ = 0.0;
   double last_reward_ = 0.0;

@@ -1,0 +1,81 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace easeml::shard {
+
+ShardMap::ShardMap(int num_shards) {
+  EASEML_CHECK(num_shards >= 1) << "ShardMap: num_shards must be >= 1";
+  locals_.resize(num_shards);
+}
+
+int ShardMap::shard_of(int tenant) const {
+  if (tenant < 0 || tenant >= static_cast<int>(shard_of_.size())) return -1;
+  return shard_of_[tenant];
+}
+
+int ShardMap::max_shard_size() const {
+  size_t max_size = 0;
+  for (const auto& local : locals_) {
+    max_size = std::max(max_size, local.size());
+  }
+  return static_cast<int>(max_size);
+}
+
+void ShardMap::Insert(int shard, int tenant) {
+  auto& local = locals_[shard];
+  local.insert(std::lower_bound(local.begin(), local.end(), tenant), tenant);
+  if (tenant >= static_cast<int>(shard_of_.size())) {
+    shard_of_.resize(tenant + 1, -1);
+  }
+  shard_of_[tenant] = shard;
+}
+
+void ShardMap::Erase(int shard, int tenant) {
+  auto& local = locals_[shard];
+  local.erase(std::lower_bound(local.begin(), local.end(), tenant));
+  shard_of_[tenant] = -1;
+}
+
+void ShardMap::Add(int tenant) {
+  EASEML_CHECK(tenant >= 0) << "ShardMap: negative tenant id";
+  EASEML_CHECK(shard_of(tenant) < 0) << "ShardMap: tenant already mapped";
+  // SplitMix64 placement: consecutive tenant ids (which arrive together
+  // and stay equally hot) spread across shards instead of clustering.
+  Insert(static_cast<int>(SplitMix64(static_cast<uint64_t>(tenant)) %
+                          locals_.size()),
+         tenant);
+  ++size_;
+  Rebalance();
+}
+
+void ShardMap::Remove(int tenant) {
+  const int shard = shard_of(tenant);
+  EASEML_CHECK(shard >= 0) << "ShardMap: tenant not mapped";
+  Erase(shard, tenant);
+  --size_;
+  Rebalance();
+}
+
+void ShardMap::Rebalance() {
+  for (;;) {
+    int smallest = 0;
+    int largest = 0;
+    for (int s = 1; s < num_shards(); ++s) {
+      if (locals_[s].size() < locals_[smallest].size()) smallest = s;
+      if (locals_[s].size() > locals_[largest].size()) largest = s;
+    }
+    if (locals_[largest].size() - locals_[smallest].size() <= 1) return;
+    // Deterministic move: the fullest shard (lowest index among ties — the
+    // scan above keeps the first maximum) donates its highest tenant id to
+    // the emptiest shard.
+    const int moved = locals_[largest].back();
+    Erase(largest, moved);
+    Insert(smallest, moved);
+  }
+}
+
+}  // namespace easeml::shard

@@ -1,0 +1,97 @@
+#include "shard/shard_pool.h"
+
+#include <ctime>
+
+#include "common/logging.h"
+
+namespace easeml::shard {
+
+namespace {
+double ThreadCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+}  // namespace
+
+ShardPool::ShardPool(int num_workers) {
+  EASEML_CHECK(num_workers >= 1) << "ShardPool: num_workers must be >= 1";
+  seen_.assign(num_workers, 0);
+  cpu_seconds_.assign(num_workers, 0.0);
+  slots_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  workers_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  for (auto& slot : slots_) slot->wake.notify_one();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ShardPool::RunAll(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  ++generation_;
+  remaining_ = size();
+  for (auto& slot : slots_) slot->wake.notify_one();
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+void ShardPool::RunOn(int worker, const std::function<void()>& fn) {
+  EASEML_CHECK(worker >= 0 && worker < size()) << "ShardPool: bad worker";
+  std::unique_lock<std::mutex> lock(mu_);
+  slots_[worker]->solo = &fn;
+  remaining_ = 1;
+  slots_[worker]->wake.notify_one();
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void ShardPool::WorkerLoop(int worker) {
+  Slot& slot = *slots_[worker];
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    slot.wake.wait(lock, [&] {
+      return shutdown_ || slot.solo != nullptr || seen_[worker] != generation_;
+    });
+    const std::function<void()>* solo = slot.solo;
+    const std::function<void(int)>* all = nullptr;
+    if (solo != nullptr) {
+      slot.solo = nullptr;
+    } else if (seen_[worker] != generation_) {
+      seen_[worker] = generation_;
+      all = fn_;
+    } else {
+      return;  // shutdown with no pending work
+    }
+    lock.unlock();
+
+    const double cpu_before = ThreadCpuSeconds();
+    if (solo != nullptr) {
+      (*solo)();
+    } else {
+      (*all)(worker);
+    }
+    const double cpu_after = ThreadCpuSeconds();
+
+    lock.lock();
+    cpu_seconds_[worker] += cpu_after - cpu_before;
+    if (--remaining_ == 0) work_done_.notify_all();
+  }
+}
+
+std::vector<double> ShardPool::WorkerCpuSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cpu_seconds_;
+}
+
+}  // namespace easeml::shard

@@ -1,0 +1,81 @@
+#ifndef EASEML_SHARD_SHARD_POOL_H_
+#define EASEML_SHARD_SHARD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace easeml::shard {
+
+/// Barrier-style worker pool: one long-lived thread per shard.
+///
+/// `RunAll(fn)` wakes every worker, runs `fn(shard)` once per shard
+/// concurrently, and returns after the last one finished. The mutex
+/// acquire/release pairs around each barrier give the caller full
+/// happens-before visibility of everything the closures wrote — the only
+/// synchronization the sharded selector's scan fan-out needs.
+///
+/// Workers accumulate the CPU time (CLOCK_THREAD_CPUTIME_ID) they spend
+/// inside closures; `WorkerCpuSeconds()` exposes it. Unlike wall clock,
+/// thread CPU time is not inflated by core oversubscription, so
+/// max-over-workers is a faithful measure of the scan's critical path even
+/// on machines with fewer cores than shards (bench/scaling_shards reports
+/// it next to wall time).
+///
+/// One caller at a time: `RunAll` is serialized by the selector's lock.
+/// Closures must not call back into the pool or the selector.
+class ShardPool {
+ public:
+  /// Starts `num_workers` >= 1 threads.
+  explicit ShardPool(int num_workers);
+
+  /// Joins all workers (any in-progress barrier completes first).
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(shard)` on every worker; blocks until all have finished.
+  void RunAll(const std::function<void(int)>& fn);
+
+  /// Runs `fn` on `worker`'s thread alone and blocks until it finished.
+  /// Wakes only that worker (per-worker condition variables) — the path
+  /// that routes a single tenant's arm selection / belief fold to its
+  /// owning shard without a full barrier.
+  void RunOn(int worker, const std::function<void()>& fn);
+
+  /// Cumulative per-worker CPU seconds spent inside RunAll/RunOn closures.
+  std::vector<double> WorkerCpuSeconds() const;
+
+ private:
+  /// Per-worker wake slot (heap-allocated: condition_variable is neither
+  /// movable nor copyable).
+  struct Slot {
+    std::condition_variable wake;
+    const std::function<void()>* solo = nullptr;  // pending RunOn task
+  };
+
+  void WorkerLoop(int worker);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_done_;
+  const std::function<void(int)>* fn_ = nullptr;  // valid while a barrier runs
+  uint64_t generation_ = 0;
+  std::vector<uint64_t> seen_;  // last barrier generation each worker ran
+  std::vector<std::unique_ptr<Slot>> slots_;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::vector<double> cpu_seconds_;
+
+  std::vector<std::thread> workers_;  // started last, joined in the dtor
+};
+
+}  // namespace easeml::shard
+
+#endif  // EASEML_SHARD_SHARD_POOL_H_

@@ -1,0 +1,213 @@
+#include "shard/sharded_selector.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/reduction_tree.h"
+
+namespace easeml::shard {
+
+namespace {
+constexpr int kNone = std::numeric_limits<int>::max();
+}  // namespace
+
+ShardedMultiTenantSelector::ShardedMultiTenantSelector(
+    core::MultiTenantSelector&& base, int num_shards)
+    : core::MultiTenantSelector(std::move(base)),
+      map_(num_shards),
+      pool_(num_shards) {}
+
+Result<std::unique_ptr<ShardedMultiTenantSelector>>
+ShardedMultiTenantSelector::Create(const core::SelectorOptions& options) {
+  EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector base,
+                          core::MultiTenantSelector::Create(options));
+  return std::unique_ptr<ShardedMultiTenantSelector>(
+      new ShardedMultiTenantSelector(std::move(base), options.num_shards));
+}
+
+template <typename Fn>
+auto ShardedMultiTenantSelector::RouteToOwner(int tenant, Fn fn)
+    -> decltype(fn()) {
+  const int owner = map_.shard_of(tenant);
+  if (owner < 0) {
+    return Status::Internal("shard: tenant " + std::to_string(tenant) +
+                            " is not mapped to any shard");
+  }
+  decltype(fn()) result =
+      Status::Internal("shard: routed call did not execute");
+  pool_.RunOn(owner, [&] { result = fn(); });
+  return result;
+}
+
+Result<int> ShardedMultiTenantSelector::PickTenant(int round) {
+  // Fan the initialization-sweep / any-work scan out over the shards. The
+  // per-shard summary is (lowest uninitialized tenant, any schedulable);
+  // min/or merges make the reduction partition-invariant, so the sweep
+  // serves tenants in registration order exactly like the sequential
+  // engine.
+  struct Sweep {
+    int first_uninitialized = kNone;
+    bool any_schedulable = false;
+  };
+  std::vector<Sweep> parts(pool_.size());
+  pool_.RunAll([&](int shard) {
+    Sweep& part = parts[shard];
+    for (int t : map_.local(shard)) {
+      const scheduler::UserState& u = users()[t];
+      if (part.first_uninitialized == kNone && !u.has_observations() &&
+          !u.has_pending() && !u.Exhausted()) {
+        part.first_uninitialized = t;  // locals ascend: first hit is the min
+      }
+      if (u.Schedulable()) part.any_schedulable = true;
+    }
+  });
+  const Sweep merged =
+      ReduceTree(std::move(parts), [](Sweep a, const Sweep& b) {
+        a.first_uninitialized =
+            std::min(a.first_uninitialized, b.first_uninitialized);
+        a.any_schedulable = a.any_schedulable || b.any_schedulable;
+        return a;
+      });
+  if (merged.first_uninitialized != kNone) return merged.first_uninitialized;
+  if (!merged.any_schedulable) {
+    return in_flight().empty()
+               ? Status::FailedPrecondition("Next: all tenants exhausted")
+               : Status::FailedPrecondition(
+                     "Next: every remaining model is in flight; report a "
+                     "completion first");
+  }
+  return scheduler().PickUserSharded(users(), round, *this);
+}
+
+Result<int> ShardedMultiTenantSelector::SelectArmFor(int tenant) {
+  return RouteToOwner(tenant, [&]() -> Result<int> {
+    return core::MultiTenantSelector::SelectArmFor(tenant);
+  });
+}
+
+Status ShardedMultiTenantSelector::RecordOutcomeFor(int tenant, int model,
+                                                    double reward) {
+  return RouteToOwner(tenant, [&]() -> Status {
+    return core::MultiTenantSelector::RecordOutcomeFor(tenant, model, reward);
+  });
+}
+
+Status ShardedMultiTenantSelector::CancelSelectionFor(int tenant, int model) {
+  return RouteToOwner(tenant, [&]() -> Status {
+    return core::MultiTenantSelector::CancelSelectionFor(tenant, model);
+  });
+}
+
+Result<int> ShardedMultiTenantSelector::AddTenant(
+    std::shared_ptr<const gp::SharedGpPrior> prior,
+    std::vector<double> costs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::AddTenant(std::move(prior),
+                                              std::move(costs));
+}
+
+Result<int> ShardedMultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
+                                                  std::vector<double> costs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::AddTenant(std::move(belief),
+                                              std::move(costs));
+}
+
+Result<int> ShardedMultiTenantSelector::AddTenantWithDefaultPrior(
+    int num_models, std::vector<double> costs, double noise_variance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::AddTenantWithDefaultPrior(
+      num_models, std::move(costs), noise_variance);
+}
+
+Status ShardedMultiTenantSelector::RemoveTenant(int tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::RemoveTenant(tenant);
+}
+
+int ShardedMultiTenantSelector::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::num_tenants();
+}
+
+bool ShardedMultiTenantSelector::Exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::Exhausted();
+}
+
+int ShardedMultiTenantSelector::num_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::num_in_flight();
+}
+
+bool ShardedMultiTenantSelector::HasDispatchableWork() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::HasDispatchableWork();
+}
+
+Result<core::MultiTenantSelector::Assignment>
+ShardedMultiTenantSelector::Next() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::Next();
+}
+
+Status ShardedMultiTenantSelector::Report(const Assignment& assignment,
+                                          double accuracy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::Report(assignment, accuracy);
+}
+
+Status ShardedMultiTenantSelector::Cancel(const Assignment& assignment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::Cancel(assignment);
+}
+
+Result<core::MultiTenantSelector::Assignment>
+ShardedMultiTenantSelector::InFlightAssignment(int64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::InFlightAssignment(ticket);
+}
+
+Result<int> ShardedMultiTenantSelector::BestModel(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::BestModel(tenant);
+}
+
+Result<double> ShardedMultiTenantSelector::BestAccuracy(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::BestAccuracy(tenant);
+}
+
+Result<int> ShardedMultiTenantSelector::RoundsServed(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core::MultiTenantSelector::RoundsServed(tenant);
+}
+
+std::vector<int> ShardedMultiTenantSelector::ShardSizes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> sizes;
+  sizes.reserve(map_.num_shards());
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    sizes.push_back(static_cast<int>(map_.local(s).size()));
+  }
+  return sizes;
+}
+
+std::vector<double> ShardedMultiTenantSelector::ShardCpuSeconds() const {
+  return pool_.WorkerCpuSeconds();
+}
+
+Result<std::unique_ptr<core::MultiTenantSelector>> MakeSelector(
+    const core::SelectorOptions& options) {
+  if (options.num_shards <= 1) {
+    EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector base,
+                            core::MultiTenantSelector::Create(options));
+    return std::make_unique<core::MultiTenantSelector>(std::move(base));
+  }
+  EASEML_ASSIGN_OR_RETURN(std::unique_ptr<ShardedMultiTenantSelector> sharded,
+                          ShardedMultiTenantSelector::Create(options));
+  return std::unique_ptr<core::MultiTenantSelector>(std::move(sharded));
+}
+
+}  // namespace easeml::shard

@@ -1,0 +1,126 @@
+#ifndef EASEML_SHARD_SHARDED_SELECTOR_H_
+#define EASEML_SHARD_SHARDED_SELECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/multi_tenant_selector.h"
+#include "shard/shard_map.h"
+#include "shard/shard_pool.h"
+
+namespace easeml::shard {
+
+/// Sharded selector engine: parallel user-picking over tenant shards with a
+/// deterministic reduction tree.
+///
+/// The serving hot path of the multi-tenant selector is the `Next()` scan —
+/// O(T·K) over all tenants to find the best (empirical bound, UCB gap)
+/// candidate. Tenants are conditionally independent given the shared
+/// `SharedGpPrior`, so the scan shards cleanly by tenant: a `ShardMap`
+/// hash-partitions tenants over N worker threads (`ShardPool`), each worker
+/// scans only its local tenants through the scheduler policy's
+/// `PickUserSharded` seam, and the tiny per-shard summaries (candidate id,
+/// bound, gap — `ShardCandidate`-shaped structs inside each policy) are
+/// merged through a deterministic binary reduction tree (`ReduceTree`) with
+/// a total-order tie-break and exact (`ExactDoubleSum`) threshold
+/// arithmetic. The winner is therefore BIT-IDENTICAL to the sequential
+/// engine's pick for every shard count and any thread interleaving — the
+/// conformance suite replays N ∈ {1,2,4,7} against the unsharded selector
+/// across all five scheduler policies.
+///
+/// Tenant state stays shard-local: a tenant's arm selection and belief fold
+/// execute on its owning shard's worker (`SelectArmFor` /
+/// `RecordOutcomeFor` routing), and the per-arm in-flight masks live inside
+/// the tenant's `UserState`, so no cross-shard belief synchronization ever
+/// happens — shards only exchange their summaries at the reduction.
+///
+/// Drop-in: the class IS a `core::MultiTenantSelector` (same ticketed
+/// `Next()/Report()/Cancel()` protocol, same Status taxonomy), selected via
+/// `SelectorOptions::num_shards > 1` through `MakeSelector`. Unlike the
+/// base engine every public method is thread-safe: a selector-wide lock
+/// serializes the protocol while each scan fans out internally. (Sole
+/// exception: `scheduler_policy()` hands out a raw reference into policy
+/// state and is for quiescent diagnostics only.) Tenant churn
+/// (`AddTenant`/`RemoveTenant`) rebalances the shard map under the same
+/// lock.
+class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
+                                         private scheduler::ShardScan {
+ public:
+  /// Validates `options` (num_shards >= 1) and starts the shard workers.
+  static Result<std::unique_ptr<ShardedMultiTenantSelector>> Create(
+      const core::SelectorOptions& options);
+
+  // Thread-safe protocol overrides: take the selector lock, then run the
+  // base implementation, whose seam calls fan out to the shard workers.
+  Result<int> AddTenant(std::shared_ptr<const gp::SharedGpPrior> prior,
+                        std::vector<double> costs) override;
+  Result<int> AddTenant(gp::DiscreteArmGp belief,
+                        std::vector<double> costs) override;
+  Result<int> AddTenantWithDefaultPrior(int num_models,
+                                        std::vector<double> costs,
+                                        double noise_variance = 1e-2) override;
+  Status RemoveTenant(int tenant) override;
+  int num_tenants() const override;
+  bool Exhausted() const override;
+  int num_in_flight() const override;
+  bool HasDispatchableWork() const override;
+  Result<Assignment> Next() override;
+  Status Report(const Assignment& assignment, double accuracy) override;
+  Status Cancel(const Assignment& assignment) override;
+  Result<Assignment> InFlightAssignment(int64_t ticket) const override;
+  Result<int> BestModel(int tenant) const override;
+  Result<double> BestAccuracy(int tenant) const override;
+  Result<int> RoundsServed(int tenant) const override;
+
+  /// Shard count (== options().num_shards). Also serves the ShardScan
+  /// interface handed to the scheduler policies.
+  int num_shards() const override { return pool_.size(); }
+
+  /// Current shard sizes, ascending shard index. The max is the per-scan
+  /// critical path in tenants (diagnostics / bench).
+  std::vector<int> ShardSizes() const;
+
+  /// Cumulative per-shard-worker CPU seconds spent scanning. Max over
+  /// shards tracks the parallel scan's critical path even when the host
+  /// has fewer cores than shards (see ShardPool).
+  std::vector<double> ShardCpuSeconds() const;
+
+ private:
+  ShardedMultiTenantSelector(core::MultiTenantSelector&& base,
+                             int num_shards);
+
+  // scheduler::ShardScan — the policies' view of the partition.
+  const std::vector<int>& LocalTenants(int shard) const override {
+    return map_.local(shard);
+  }
+  void Run(const std::function<void(int)>& fn) override { pool_.RunAll(fn); }
+
+  // Engine seams (called with mu_ held by the public overrides).
+  Result<int> PickTenant(int round) override;
+  Result<int> SelectArmFor(int tenant) override;
+  Status RecordOutcomeFor(int tenant, int model, double reward) override;
+  Status CancelSelectionFor(int tenant, int model) override;
+  void OnTenantAdded(int tenant) override { map_.Add(tenant); }
+  void OnTenantRemoved(int tenant) override { map_.Remove(tenant); }
+
+  /// Runs `fn` on `tenant`'s owning shard worker and returns its result.
+  template <typename Fn>
+  auto RouteToOwner(int tenant, Fn fn) -> decltype(fn());
+
+  mutable std::mutex mu_;  // serializes the ticketed protocol
+  ShardMap map_;
+  ShardPool pool_;
+};
+
+/// Builds the selector engine `options` asks for: the plain sequential
+/// `MultiTenantSelector` when `num_shards <= 1`, the sharded engine
+/// otherwise. The two are interchangeable behind the returned pointer and
+/// produce bit-identical selection traces.
+Result<std::unique_ptr<core::MultiTenantSelector>> MakeSelector(
+    const core::SelectorOptions& options);
+
+}  // namespace easeml::shard
+
+#endif  // EASEML_SHARD_SHARDED_SELECTOR_H_

@@ -1,0 +1,173 @@
+/// Exactness and order-invariance of ExactDoubleSum, plus the deterministic
+/// shape of ReduceTree. These two primitives carry the sharded selector's
+/// bit-identical-replay guarantee: candidate-set thresholds are evaluated
+/// without rounding, and merging per-shard accumulators in ANY partition
+/// must reproduce the sequential accumulation exactly.
+#include "common/exact_sum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/reduction_tree.h"
+#include "common/rng.h"
+
+namespace easeml {
+namespace {
+
+TEST(ExactDoubleSumTest, EmptySumIsZero) {
+  ExactDoubleSum sum;
+  EXPECT_EQ(sum.Sign(), 0);
+  EXPECT_EQ(sum.Value(), 0.0);
+  // 0 * n == empty sum.
+  EXPECT_EQ(sum.CompareScaled(0.0, 17), 0);
+  EXPECT_EQ(sum.CompareScaled(1.0, 3), 1);
+  EXPECT_EQ(sum.CompareScaled(-1.0, 3), -1);
+}
+
+TEST(ExactDoubleSumTest, PointOneTimesThreeIsExact) {
+  // Naive double arithmetic gets this wrong: 0.1 + 0.1 + 0.1 != 3 * 0.1
+  // and (0.1*3)/3 > 0.1. The exact comparison must report equality.
+  ExactDoubleSum sum;
+  sum.Add(0.1);
+  sum.Add(0.1);
+  sum.Add(0.1);
+  EXPECT_EQ(sum.CompareScaled(0.1, 3), 0);
+  EXPECT_EQ(sum.CompareScaled(std::nextafter(0.1, 1.0), 3), 1);
+  EXPECT_EQ(sum.CompareScaled(std::nextafter(0.1, 0.0), 3), -1);
+}
+
+TEST(ExactDoubleSumTest, CancellationIsExact) {
+  ExactDoubleSum sum;
+  sum.Add(1e300);
+  sum.Add(1.0);
+  sum.Add(-1e300);
+  // Double arithmetic would have swallowed the 1.0 entirely.
+  EXPECT_EQ(sum.Sign(), 1);
+  EXPECT_EQ(sum.CompareScaled(1.0, 1), 0);
+  sum.Add(-1.0);
+  EXPECT_EQ(sum.Sign(), 0);
+}
+
+TEST(ExactDoubleSumTest, HandlesFullExponentRange) {
+  ExactDoubleSum sum;
+  const double kTiny = 5e-324;  // least subnormal
+  sum.Add(kTiny);
+  sum.Add(1e308);
+  sum.Add(-1e308);
+  EXPECT_EQ(sum.Sign(), 1);
+  EXPECT_EQ(sum.CompareScaled(kTiny, 1), 0);
+}
+
+TEST(ExactDoubleSumTest, NegativeValuesAndSign) {
+  ExactDoubleSum sum;
+  sum.Add(-0.25);
+  sum.Add(-0.5);
+  EXPECT_EQ(sum.Sign(), -1);
+  EXPECT_DOUBLE_EQ(sum.Value(), -0.75);
+  EXPECT_EQ(sum.CompareScaled(-0.375, 2), 0);  // mean is exactly -0.375
+}
+
+TEST(ExactDoubleSumTest, ValueMatchesSimpleSums) {
+  ExactDoubleSum sum;
+  sum.Add(1.5);
+  sum.Add(2.25);
+  sum.Add(-0.75);
+  EXPECT_DOUBLE_EQ(sum.Value(), 3.0);
+}
+
+TEST(ExactDoubleSumTest, OrderAndPartitionInvariance) {
+  Rng rng(20260730);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    // Wildly varying magnitudes to provoke rounding differences in any
+    // floating-point accumulation order.
+    const double mag = std::ldexp(rng.Uniform(-1.0, 1.0),
+                                  rng.UniformInt(-60, 60));
+    values.push_back(mag);
+  }
+  ExactDoubleSum sequential;
+  for (double v : values) sequential.Add(v);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> shuffled = values;
+    rng.Shuffle(shuffled);
+    // Random partition into up to 7 "shards", each accumulated locally,
+    // merged through the deterministic tree.
+    const int shards = rng.UniformInt(1, 7);
+    std::vector<ExactDoubleSum> parts(shards);
+    for (double v : shuffled) parts[rng.UniformInt(0, shards - 1)].Add(v);
+    ExactDoubleSum merged =
+        ReduceTree(std::move(parts), [](ExactDoubleSum a,
+                                        const ExactDoubleSum& b) {
+          a.Merge(b);
+          return a;
+        });
+    // Exact equality of the abstract sums: differences of the two
+    // accumulators must vanish for every probe comparison.
+    for (double probe : {values[0], values[7], 0.0, 1e-30, -3.25}) {
+      for (int64_t n : {int64_t{1}, int64_t{3}, int64_t{200}}) {
+        EXPECT_EQ(merged.CompareScaled(probe, n),
+                  sequential.CompareScaled(probe, n));
+      }
+    }
+    EXPECT_EQ(merged.Value(), sequential.Value());  // bit-identical
+    EXPECT_EQ(merged.Sign(), sequential.Sign());
+  }
+}
+
+TEST(ExactDoubleSumTest, ManyAdditionsNormalizeCorrectly) {
+  ExactDoubleSum sum;
+  constexpr int kCount = 100000;
+  for (int i = 0; i < kCount; ++i) sum.Add(0.125);  // exactly representable
+  EXPECT_EQ(sum.CompareScaled(0.125, kCount), 0);
+  EXPECT_DOUBLE_EQ(sum.Value(), 0.125 * kCount);
+}
+
+TEST(ReduceTreeTest, SingleLeafPassesThrough) {
+  EXPECT_EQ(ReduceTree(std::vector<int>{42},
+                       [](int a, int b) { return a + b; }),
+            42);
+}
+
+TEST(ReduceTreeTest, DeterministicPairwiseShape) {
+  // A non-commutative merge exposes the tree shape: pairwise rounds with the
+  // odd trailing leaf carried up produce left-to-right concatenation.
+  for (int n = 1; n <= 9; ++n) {
+    std::vector<std::string> leaves;
+    std::string expected;
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(std::string(1, static_cast<char>('a' + i)));
+      expected += static_cast<char>('a' + i);
+    }
+    EXPECT_EQ(ReduceTree(leaves,
+                         [](std::string a, const std::string& b) {
+                           return a + b;
+                         }),
+              expected);
+  }
+}
+
+TEST(ReduceTreeTest, MinIndexArgmaxTieBreak) {
+  // The merge rule the sharded schedulers use: larger key wins, equal keys
+  // resolve to the smaller index — matching a sequential strict-> fold.
+  struct Best {
+    double key;
+    int index;
+  };
+  auto merge = [](Best a, Best b) {
+    if (a.key > b.key) return a;
+    if (b.key > a.key) return b;
+    return a.index < b.index ? a : b;
+  };
+  std::vector<Best> leaves = {{1.0, 4}, {3.0, 2}, {3.0, 0}, {2.0, 1}};
+  const Best winner = ReduceTree(leaves, merge);
+  EXPECT_EQ(winner.index, 0);
+  EXPECT_EQ(winner.key, 3.0);
+}
+
+}  // namespace
+}  // namespace easeml

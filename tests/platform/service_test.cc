@@ -148,5 +148,43 @@ TEST(ServiceTest, RefiningNoisyLabelsImprovesTraining) {
   EXPECT_TRUE(refined->Infer(0).ok());
 }
 
+TEST(ServiceTest, ShardedEngineReplaysSequentialServiceBitIdentically) {
+  // The num_shards service option swaps the selector engine under the
+  // whole platform stack (task pool, async executor, RunAsync drain); the
+  // end-to-end outcome must not change in any digit.
+  auto run = [](int num_shards) {
+    EaseMlService::Options opts;
+    opts.seed = 5;
+    opts.selector.seed = 5;
+    opts.selector.num_devices = 3;
+    opts.selector.num_shards = num_shards;
+    auto service = EaseMlService::Create(opts);
+    EXPECT_TRUE(service.ok());
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_TRUE(service->SubmitJob(kImageProgram).ok());
+      EXPECT_TRUE(service->Feed(j, 60 + 13 * j).ok());
+    }
+    auto report = service->RunAsync(/*num_workers=*/1);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    std::vector<InferReport> infers;
+    for (int j = 0; j < 6; ++j) {
+      auto infer = service->Infer(j);
+      EXPECT_TRUE(infer.ok());
+      infers.push_back(*infer);
+    }
+    return infers;
+  };
+  const std::vector<InferReport> sequential = run(1);
+  for (int shards : {2, 5}) {
+    const std::vector<InferReport> sharded = run(shards);
+    ASSERT_EQ(sequential.size(), sharded.size());
+    for (size_t j = 0; j < sequential.size(); ++j) {
+      EXPECT_EQ(sequential[j].model_name, sharded[j].model_name);
+      EXPECT_EQ(sequential[j].accuracy, sharded[j].accuracy);  // exact
+      EXPECT_EQ(sequential[j].rounds_served, sharded[j].rounds_served);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace easeml::platform

@@ -1,0 +1,332 @@
+/// Conformance suite for the sharded selector engine: for every scheduler
+/// policy and shard count N in {1, 2, 4, 7}, a full campaign driven through
+/// `ShardedMultiTenantSelector` must replay the UNSHARDED
+/// `MultiTenantSelector` bit-identically — same (tenant, model, ticket)
+/// trace from `Next()`, same refusal statuses, same final per-tenant state —
+/// including under multi-device operation and tenant churn
+/// (RemoveTenant/AddTenant mid-campaign). A pinned golden trace guards the
+/// whole stack against silent drift.
+#include "shard/sharded_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/multi_tenant_selector.h"
+
+namespace easeml::shard {
+namespace {
+
+using core::MultiTenantSelector;
+using core::SchedulerKind;
+using core::SelectorOptions;
+using Assignment = MultiTenantSelector::Assignment;
+
+constexpr SchedulerKind kAllKinds[] = {
+    SchedulerKind::kHybrid, SchedulerKind::kGreedy, SchedulerKind::kRoundRobin,
+    SchedulerKind::kRandom, SchedulerKind::kFcfs};
+
+/// Deterministic ground-truth accuracy in (0, 1): an integer hash, NOT libm
+/// transcendentals, so every platform and thread computes identical bits.
+double Accuracy(int tenant, int model) {
+  const uint64_t x = SplitMix64(static_cast<uint64_t>(tenant) * 1000003u +
+                                static_cast<uint64_t>(model));
+  return 0.05 + 0.9 * (static_cast<double>(x >> 11) * 0x1.0p-53);
+}
+
+std::vector<double> Costs(int tenant, int models) {
+  std::vector<double> costs;
+  for (int m = 0; m < models; ++m) {
+    costs.push_back(1.0 + 0.25 * ((tenant + m) % models));
+  }
+  return costs;
+}
+
+/// One event of a campaign trace. `op` is 'N' (Next), 'R' (Report),
+/// 'C' (Cancel), '-' (RemoveTenant), '+' (AddTenant); `code` records the
+/// Status code so refusals must match across engines too.
+struct Event {
+  char op;
+  int tenant;
+  int model;
+  int64_t id;
+  int code;
+
+  bool operator==(const Event& other) const {
+    return op == other.op && tenant == other.tenant && model == other.model &&
+           id == other.id && code == other.code;
+  }
+};
+
+std::string ToString(const Event& e) {
+  return std::string(1, e.op) + "(" + std::to_string(e.tenant) + "," +
+         std::to_string(e.model) + "," + std::to_string(e.id) + ")s" +
+         std::to_string(e.code);
+}
+
+/// Drives one full campaign: keep every device slot filled, then hand back
+/// a pseudo-randomly chosen outstanding completion (the same seeded choice
+/// sequence for every engine), optionally cancelling some completions and
+/// churning tenants. Returns the full event trace.
+std::vector<Event> Drive(MultiTenantSelector* selector, int tenants,
+                         int models, bool churn) {
+  Rng rng(2026);
+  std::vector<Event> trace;
+  std::vector<Assignment> outstanding;
+  for (int t = 0; t < tenants; ++t) {
+    EXPECT_TRUE(
+        selector->AddTenantWithDefaultPrior(models, Costs(t, models)).ok());
+  }
+  int reports = 0;
+  int added = 0;
+  while (true) {
+    while (selector->HasDispatchableWork()) {
+      auto a = selector->Next();
+      if (!a.ok()) {
+        ADD_FAILURE() << a.status().ToString();
+        return trace;
+      }
+      trace.push_back({'N', a->tenant, a->model, a->id, 0});
+      outstanding.push_back(*a);
+    }
+    if (outstanding.empty()) break;
+    const int pick =
+        rng.UniformInt(0, static_cast<int>(outstanding.size()) - 1);
+    const Assignment a = outstanding[pick];
+    outstanding.erase(outstanding.begin() + pick);
+    if (rng.UniformInt(0, 9) == 0) {
+      // Occasional device failure: the ticket is returned via Cancel and
+      // the (tenant, model) becomes dispatchable again.
+      const Status st = selector->Cancel(a);
+      trace.push_back(
+          {'C', a.tenant, a.model, a.id, static_cast<int>(st.code())});
+    } else {
+      const Status st = selector->Report(a, Accuracy(a.tenant, a.model));
+      trace.push_back(
+          {'R', a.tenant, a.model, a.id, static_cast<int>(st.code())});
+      ++reports;
+    }
+    if (churn) {
+      if (reports % 7 == 3) {
+        // May be refused (in-flight tickets) — the refusal must replay too.
+        const int victim = reports % selector->num_tenants();
+        const Status st = selector->RemoveTenant(victim);
+        trace.push_back({'-', victim, -1, -1, static_cast<int>(st.code())});
+      }
+      if (reports % 11 == 5 && added < 3) {
+        auto id = selector->AddTenantWithDefaultPrior(
+            models, Costs(selector->num_tenants(), models));
+        EXPECT_TRUE(id.ok());
+        trace.push_back({'+', id.ok() ? *id : -1, -1, -1, 0});
+        ++added;
+      }
+    }
+  }
+  // Final per-tenant state must agree as well; fold it into the trace.
+  for (int t = 0; t < selector->num_tenants(); ++t) {
+    auto best = selector->BestModel(t);
+    auto rounds = selector->RoundsServed(t);
+    trace.push_back({'B', t, best.ok() ? *best : -1,
+                     rounds.ok() ? static_cast<int64_t>(*rounds) : -1,
+                     static_cast<int>(best.status().code())});
+  }
+  return trace;
+}
+
+SelectorOptions MakeOptions(SchedulerKind kind, int devices, int shards) {
+  SelectorOptions options;
+  options.scheduler = kind;
+  options.hybrid_patience = 3;  // small enough to exercise the freeze switch
+  options.seed = 7;
+  options.num_devices = devices;
+  options.num_shards = shards;
+  return options;
+}
+
+void ExpectSameTrace(const std::vector<Event>& expected,
+                     const std::vector<Event>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(expected[i] == actual[i])
+        << label << ": divergence at event " << i << ": expected "
+        << ToString(expected[i]) << ", got " << ToString(actual[i]);
+  }
+}
+
+class ShardedConformanceTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, int>> {};
+
+TEST_P(ShardedConformanceTest, ReplaysUnshardedBitIdentically) {
+  const SchedulerKind kind = std::get<0>(GetParam());
+  const int devices = std::get<1>(GetParam());
+  constexpr int kTenants = 13;
+  constexpr int kModels = 5;
+
+  auto sequential =
+      MultiTenantSelector::Create(MakeOptions(kind, devices, 1));
+  ASSERT_TRUE(sequential.ok());
+  const std::vector<Event> reference =
+      Drive(&sequential.value(), kTenants, kModels, /*churn=*/false);
+
+  for (int shards : {1, 2, 4, 7}) {
+    auto engine = MakeSelector(MakeOptions(kind, devices, shards));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const std::vector<Event> trace =
+        Drive(engine->get(), kTenants, kModels, /*churn=*/false);
+    ExpectSameTrace(reference, trace,
+                    core::SchedulerKindName(kind) + "/D=" +
+                        std::to_string(devices) + "/N=" +
+                        std::to_string(shards));
+  }
+}
+
+TEST_P(ShardedConformanceTest, ReplaysUnshardedUnderTenantChurn) {
+  const SchedulerKind kind = std::get<0>(GetParam());
+  const int devices = std::get<1>(GetParam());
+  constexpr int kTenants = 11;
+  constexpr int kModels = 4;
+
+  auto sequential =
+      MultiTenantSelector::Create(MakeOptions(kind, devices, 1));
+  ASSERT_TRUE(sequential.ok());
+  const std::vector<Event> reference =
+      Drive(&sequential.value(), kTenants, kModels, /*churn=*/true);
+
+  for (int shards : {2, 4, 7}) {
+    auto engine = MakeSelector(MakeOptions(kind, devices, shards));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const std::vector<Event> trace =
+        Drive(engine->get(), kTenants, kModels, /*churn=*/true);
+    ExpectSameTrace(reference, trace,
+                    core::SchedulerKindName(kind) + "/churn/D=" +
+                        std::to_string(devices) + "/N=" +
+                        std::to_string(shards));
+  }
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<std::tuple<SchedulerKind, int>>& info) {
+  std::string name = core::SchedulerKindName(std::get<0>(info.param));
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_D" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, ShardedConformanceTest,
+    ::testing::Combine(::testing::ValuesIn(kAllKinds),
+                       ::testing::Values(1, 3)),
+    ParamName);
+
+/// The factory must return the plain engine at 1 shard and the sharded one
+/// above, both accepting the full ticketed protocol.
+TEST(MakeSelectorTest, SelectsEngineByShardCount) {
+  auto plain = MakeSelector(MakeOptions(SchedulerKind::kGreedy, 1, 1));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(dynamic_cast<ShardedMultiTenantSelector*>(plain->get()), nullptr);
+
+  auto sharded = MakeSelector(MakeOptions(SchedulerKind::kGreedy, 1, 4));
+  ASSERT_TRUE(sharded.ok());
+  auto* engine = dynamic_cast<ShardedMultiTenantSelector*>(sharded->get());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->num_shards(), 4);
+
+  auto bad = MakeSelector(MakeOptions(SchedulerKind::kGreedy, 1, 0));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Golden trace: the full HYBRID campaign (T=6, K=3, D=2) on the 4-shard
+/// engine, pinned event by event. Guards the whole stack — shard map, scan
+/// fan-out, exact candidate threshold, reduction tie-breaks, ticket
+/// accounting — against silent drift; by the conformance tests above the
+/// same trace is what the sequential engine and every other shard count
+/// produce.
+TEST(ShardedGoldenTraceTest, PinnedHybridCampaign) {
+  static const char* const kGolden[] = {
+      "N 0 0 0",   "N 1 2 1",   "R 0 0 0",   "N 2 1 2",   "R 2 1 2",
+      "N 3 0 3",   "R 1 2 1",   "N 4 2 4",   "R 4 2 4",   "N 5 1 5",
+      "R 3 0 3",   "N 3 1 6",   "R 3 1 6",   "N 5 2 7",   "R 5 1 5",
+      "N 2 2 8",   "R 2 2 8",   "N 2 0 9",   "R 2 0 9",   "N 3 2 10",
+      "R 5 2 7",   "N 1 0 11",  "R 3 2 10",  "N 4 0 12",  "R 1 0 11",
+      "N 1 1 13",  "R 4 0 12",  "N 4 1 14",  "R 1 1 13",  "N 5 0 15",
+      "R 4 1 14",  "N 0 1 16",  "R 0 1 16",  "N 0 2 17",  "R 0 2 17",
+      "R 5 0 15",  "B 0 0",     "B 1 2",     "B 2 1",     "B 3 2",
+      "B 4 2",     "B 5 2",
+  };
+  auto engine = MakeSelector(MakeOptions(SchedulerKind::kHybrid, 2, 4));
+  ASSERT_TRUE(engine.ok());
+  MultiTenantSelector* selector = engine->get();
+  constexpr int kTenants = 6;
+  constexpr int kModels = 3;
+  for (int t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(
+        selector->AddTenantWithDefaultPrior(kModels, Costs(t, kModels)).ok());
+  }
+  Rng rng(2026);
+  std::vector<Assignment> outstanding;
+  std::vector<std::string> trace;
+  while (true) {
+    while (selector->HasDispatchableWork()) {
+      auto a = selector->Next();
+      ASSERT_TRUE(a.ok());
+      trace.push_back("N " + std::to_string(a->tenant) + " " +
+                      std::to_string(a->model) + " " + std::to_string(a->id));
+      outstanding.push_back(*a);
+    }
+    if (outstanding.empty()) break;
+    const int pick =
+        rng.UniformInt(0, static_cast<int>(outstanding.size()) - 1);
+    const Assignment a = outstanding[pick];
+    outstanding.erase(outstanding.begin() + pick);
+    ASSERT_TRUE(selector->Report(a, Accuracy(a.tenant, a.model)).ok());
+    trace.push_back("R " + std::to_string(a.tenant) + " " +
+                    std::to_string(a.model) + " " + std::to_string(a.id));
+  }
+  for (int t = 0; t < kTenants; ++t) {
+    trace.push_back("B " + std::to_string(t) + " " +
+                    std::to_string(selector->BestModel(t).value_or(-1)));
+  }
+  ASSERT_EQ(trace.size(), sizeof(kGolden) / sizeof(kGolden[0]));
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i], kGolden[i]) << "golden-trace drift at event " << i;
+  }
+}
+
+TEST(MakeSelectorTest, ShardSizesStayBalancedUnderChurn) {
+  auto engine = MakeSelector(MakeOptions(SchedulerKind::kFcfs, 1, 4));
+  ASSERT_TRUE(engine.ok());
+  auto* sharded = dynamic_cast<ShardedMultiTenantSelector*>(engine->get());
+  ASSERT_NE(sharded, nullptr);
+  for (int t = 0; t < 18; ++t) {
+    ASSERT_TRUE(
+        sharded->AddTenantWithDefaultPrior(3, {1.0, 1.0, 1.0}).ok());
+  }
+  std::vector<int> sizes = sharded->ShardSizes();
+  EXPECT_EQ(sizes.size(), 4u);
+  int total = 0;
+  for (int s : sizes) {
+    total += s;
+    EXPECT_GE(s, 4);
+    EXPECT_LE(s, 5);
+  }
+  EXPECT_EQ(total, 18);
+  ASSERT_TRUE(sharded->RemoveTenant(2).ok());
+  ASSERT_TRUE(sharded->RemoveTenant(9).ok());
+  total = 0;
+  for (int s : sharded->ShardSizes()) {
+    total += s;
+    EXPECT_EQ(s, 4);
+  }
+  EXPECT_EQ(total, 16);
+}
+
+}  // namespace
+}  // namespace easeml::shard
