@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Uniform perf-bench runner: executes the selector-scaling benchmarks —
+#   bench/scaling_tenants   (T x K sweep of the shared-prior belief engine)
+#   bench/scaling_shards    (N shards x T tenants scan critical path)
+#   bench/next_latency      (per-Next() cost: O(T) scan vs candidate index)
+# — sequentially (single-core container: never bench while a build runs),
+# captures each binary's stdout under bench-logs/, and emits a machine
+# written BENCH json (default BENCH_pr5.json) with the parsed next_latency
+# table plus the raw rows of the other two sweeps.
+#
+# Usage: scripts/bench.sh [OUTPUT_JSON] [BUILD_DIR]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr5.json}"
+BUILD_DIR="${2:-build}"
+
+for bench in scaling_tenants scaling_shards next_latency; do
+  if [[ ! -x "${BUILD_DIR}/bench/${bench}" ]]; then
+    echo "error: ${BUILD_DIR}/bench/${bench} not built (run tier1.sh first)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p bench-logs
+for bench in scaling_tenants scaling_shards next_latency; do
+  echo "== ${bench}"
+  "./${BUILD_DIR}/bench/${bench}" | tee "bench-logs/${bench}.txt"
+done
+
+python3 - "${OUT}" "${BUILD_DIR}" <<'PYEOF'
+import json, re, subprocess, sys, datetime, os
+
+out_path = sys.argv[1]
+build_dir = sys.argv[2]
+
+def cmake_build_type():
+    try:
+        with open(os.path.join(build_dir, 'CMakeCache.txt')) as f:
+            for line in f:
+                if line.startswith('CMAKE_BUILD_TYPE:'):
+                    return line.strip().split('=', 1)[1] or 'unknown'
+    except OSError:
+        pass
+    return 'unknown'
+
+def read(name):
+    with open(os.path.join('bench-logs', name + '.txt')) as f:
+        return f.read()
+
+def table_rows(text):
+    """Numeric rows of the whitespace/pipe tables the sweeps print."""
+    rows = []
+    for line in text.splitlines():
+        if line.startswith('#') or not line.strip():
+            continue
+        cells = [c for c in re.split(r'[|\s]+', line.strip()) if c]
+        try:
+            rows.append([float(c.rstrip('x')) for c in cells])
+        except ValueError:
+            continue  # header line
+    return rows
+
+next_latency = read('next_latency')
+rows = []
+for line in next_latency.splitlines():
+    if line.startswith('NEXT_LATENCY,'):
+        _, tenants, engine, next_us, report_us = line.split(',')
+        rows.append([int(tenants), engine, float(next_us), float(report_us)])
+speedups = {}
+for t in sorted({r[0] for r in rows}):
+    scan = next(r for r in rows if r[0] == t and r[1] == 'scan')
+    index = next(r for r in rows if r[0] == t and r[1] == 'index')
+    speedups[str(t)] = round(scan[2] / index[2], 2)
+
+def compiler():
+    try:
+        return subprocess.run(['g++', '--version'], capture_output=True,
+                              text=True).stdout.splitlines()[0]
+    except OSError:
+        return 'unknown'
+
+doc = {
+    'benchmark': 'scripts/bench.sh: bench/scaling_tenants + '
+                 'bench/scaling_shards + bench/next_latency',
+    'description':
+        'PR 5: incremental candidate index. next_latency drives identical '
+        'GREEDY campaigns (bit-identical traces, pinned by the index/scan '
+        'conformance suite) through the scan engine and the index-backed '
+        'engine, timing Next() and Report() separately with '
+        'CLOCK_THREAD_CPUTIME_ID on the driving thread (thread-CPU clocks '
+        'are not inflated by host oversubscription; this container has one '
+        'core). The index answers Next() from per-shard tournament roots '
+        'and pays an O(log T) leaf replay per Report instead of an O(T K) '
+        'rescan per Next.',
+    'recorded': datetime.date.today().isoformat(),
+    'command': './' + ' && ./'.join(
+        build_dir + '/bench/' + b
+        for b in ('scaling_tenants', 'scaling_shards', 'next_latency')),
+    'environment': {
+        'compiler': compiler(),
+        'cmake_build_type': cmake_build_type(),
+        'num_cpus': os.cpu_count(),
+    },
+    'next_latency': {
+        'scheduler': 'greedy',
+        'models_per_tenant': 6,
+        'devices': 1,
+        'steady_state_steps': 200,
+        'columns': ['tenants', 'engine', 'next_us_mean', 'report_us_mean'],
+        'rows': rows,
+        'next_speedup_index_vs_scan': speedups,
+        'headline':
+            'Per-Next() critical path with the candidate index grows '
+            'sub-linearly in T ({} us at T=1e3 -> {} us at T=1e5) while the '
+            'scan path grows linearly; at T=100k GREEDY the index serves '
+            'Next() {}x faster than the scan, and its Report-side leaf '
+            'refresh stays cheaper than the scan engine\'s report path.'
+            .format(
+                next(r[2] for r in rows if r[0] == 1000 and r[1] == 'index'),
+                next(r[2] for r in rows if r[0] == 100000 and r[1] == 'index'),
+                speedups.get('100000')),
+    },
+    'scaling_tenants': {'raw_rows': table_rows(read('scaling_tenants'))},
+    'scaling_shards': {'raw_rows': table_rows(read('scaling_shards'))},
+}
+with open(out_path, 'w') as f:
+    json.dump(doc, f, indent=2)
+    f.write('\n')
+print('wrote', out_path)
+PYEOF

@@ -42,3 +42,38 @@ esac
 cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
 cmake --build "${BUILD_DIR}" -j
 cd "${BUILD_DIR}" && ctest --output-on-failure -j
+
+# Figure-9 digit parity gate: a perf PR must leave the end-to-end ease.ml
+# trajectory untouched — every printed digit of the fig09 summary table has
+# to match BENCH_baseline.json exactly. The protocol is deterministic
+# (seeded, no wall-clock dependence); only the google-benchmark timing
+# section varies run to run, and the filter skips it. EASEML_BENCH_REPS is
+# unset so an inherited speed-up override can never change the measured
+# digits (the baseline is the 50-rep protocol).
+echo "== fig09 digit parity vs BENCH_baseline.json"
+env -u EASEML_BENCH_REPS ./bench/fig09_end_to_end --benchmark_filter='^$' \
+  > fig09_parity.out
+python3 - fig09_parity.out ../BENCH_baseline.json <<'PYEOF'
+import json, re, sys
+table = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'\|\s*\S+\s*\|\s*(\S+)\s*\|\s*([0-9.]+)\s*\|'
+                 r'\s*([0-9.]+)\s*\|\s*([0-9.]+)\s*\|', line)
+    if m:
+        table[m.group(1)] = (m.group(2), m.group(3), m.group(4))
+base = json.load(open(sys.argv[2]))['figure9_summary']['strategies']
+failures = []
+for entry in base:
+    want = tuple('%.5f' % entry[k]
+                 for k in ('final_avg_loss', 'final_worst_loss', 'auc'))
+    got = table.get(entry['strategy'])
+    if got != want:
+        failures.append((entry['strategy'], want, got))
+if not table:
+    failures.append(('<no fig09 table parsed>', None, None))
+for name, want, got in failures:
+    print('fig09 PARITY FAILURE:', name, 'expected', want, 'got', got)
+if failures:
+    sys.exit(1)
+print('fig09 digits match BENCH_baseline.json for %d strategies' % len(base))
+PYEOF

@@ -81,6 +81,16 @@ int ExactDoubleSum::Sign() const {
   return tmp.SignInPlace();
 }
 
+int ExactDoubleSum::Compare(const ExactDoubleSum& other) const {
+  ExactDoubleSum diff = *this;
+  ExactDoubleSum rhs = other;
+  diff.Normalize();
+  rhs.Normalize();
+  for (int limb = 0; limb < kLimbs; ++limb) diff.limb_[limb] -= rhs.limb_[limb];
+  diff.unnormalized_adds_ = 1;
+  return diff.SignInPlace();
+}
+
 int ExactDoubleSum::CompareScaled(double x, int64_t n) const {
   ExactDoubleSum diff = *this;  // one scratch copy; sign read in place
   diff.AddProduct(x, -n);       // diff = sum - x*n, exactly

@@ -48,6 +48,12 @@ class ExactDoubleSum {
   /// Exact sign of the accumulated sum.
   int Sign() const;
 
+  /// Exact sign of (this - other): -1, 0 or +1. Lets an invariant check
+  /// compare an incrementally maintained accumulator against a freshly
+  /// rebuilt one without exposing the limb representation (two accumulators
+  /// holding the same value may differ in normalization state).
+  int Compare(const ExactDoubleSum& other) const;
+
   /// Nearest-double approximation of the sum (faithful within 1 ulp).
   /// Diagnostics/reporting only — comparisons must use CompareScaled.
   double Value() const;

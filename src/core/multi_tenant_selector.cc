@@ -64,7 +64,40 @@ Result<MultiTenantSelector> MultiTenantSelector::Create(
   if (sched == nullptr) {
     return Status::InvalidArgument("Selector: unknown scheduler kind");
   }
-  return MultiTenantSelector(options, std::move(sched));
+  MultiTenantSelector selector(options, std::move(sched));
+  if (options.use_candidate_index) {
+    // The base engine is the 1-shard engine; the sharded engine swaps in
+    // an N-shard index (ResetIndex) before any tenant exists.
+    selector.ResetIndex(1);
+  }
+  return selector;
+}
+
+void MultiTenantSelector::ResetIndex(int num_shards) {
+  // Only GREEDY (and HYBRID's greedy phase) read bounds/gaps; the other
+  // schedulers' keys skip the O(K) UcbGap derivation per event.
+  const bool track_gap = options_.scheduler == SchedulerKind::kGreedy ||
+                         options_.scheduler == SchedulerKind::kHybrid;
+  index_ =
+      std::make_unique<scheduler::CandidateIndex>(num_shards, track_gap);
+}
+
+void MultiTenantSelector::RefreshIndexEntry(int tenant) {
+  if (index_ == nullptr) return;
+  index_->Refresh(users_[tenant]);
+}
+
+Status MultiTenantSelector::ValidateIndex() const {
+  if (index_ == nullptr) return Status::OK();
+  return index_->Validate(users_);
+}
+
+Status MultiTenantSelector::NoDispatchableWorkStatus() const {
+  return in_flight_.empty()
+             ? Status::FailedPrecondition("Next: all tenants exhausted")
+             : Status::FailedPrecondition(
+                   "Next: every remaining model is in flight; report a "
+                   "completion first");
 }
 
 Result<int> MultiTenantSelector::AddTenantWithBelief(
@@ -89,6 +122,12 @@ Result<int> MultiTenantSelector::AddTenantWithBelief(
   return id;
 }
 
+void MultiTenantSelector::OnTenantAdded(int tenant) {
+  // New ids are globally maximal, so the 1-shard index extends at the tail
+  // in O(log T) — never a rebuild on the add path.
+  if (index_ != nullptr) index_->AppendTenant(0, users_[tenant]);
+}
+
 Result<int> MultiTenantSelector::AddTenant(
     std::shared_ptr<const gp::SharedGpPrior> prior,
     std::vector<double> costs) {
@@ -104,6 +143,50 @@ Result<int> MultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
       std::move(costs));
 }
 
+namespace {
+
+/// Process-wide default-prior cache, one prior per (K, noise variance).
+/// Mutex-guarded because concurrent shard setup reaches it; weak_ptr
+/// entries let a prior die with its last tenant instead of pinning the
+/// Gram matrix forever. Leaked intentionally: worker threads may still
+/// touch it during static destruction.
+using DefaultPriorCache =
+    std::map<std::pair<int, double>, std::weak_ptr<const gp::SharedGpPrior>>;
+
+std::mutex& DefaultPriorCacheMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+DefaultPriorCache& GetDefaultPriorCache() {
+  static auto* cache = new DefaultPriorCache;
+  return *cache;
+}
+
+/// Erases every dead weak_ptr. Called under the cache mutex on EVERY
+/// lookup/insert — not only on misses — so a long-lived service whose
+/// tenant churn retires (K, noise) shapes never accumulates dead entries
+/// while serving cache hits for the shapes that stay live. O(live + dead)
+/// per call against a map bounded by the distinct shapes in use.
+void PruneExpiredDefaultPriors(DefaultPriorCache& cache) {
+  for (auto it = cache.begin(); it != cache.end();) {
+    if (it->second.expired()) {
+      it = cache.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+int DefaultPriorCacheSizeForTesting() {
+  // Deliberately does NOT prune: the regression test observes that the
+  // serving path's lookups do.
+  std::lock_guard<std::mutex> lock(DefaultPriorCacheMutex());
+  return static_cast<int>(GetDefaultPriorCache().size());
+}
+
 Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
     int num_models, std::vector<double> costs, double noise_variance) {
   if (num_models <= 0) {
@@ -114,34 +197,19 @@ Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
   if (!(noise_variance > 0.0)) {
     return Status::InvalidArgument("AddTenant: noise variance must be > 0");
   }
-  // Process-wide cache, one prior per (K, noise variance). Mutex-guarded
-  // because concurrent shard setup reaches it; weak_ptr entries let a prior
-  // die with its last tenant instead of pinning the Gram matrix forever.
-  // Leaked intentionally: worker threads may still touch it during static
-  // destruction.
-  static std::mutex* cache_mu = new std::mutex;
-  static auto* cache = new std::map<
-      std::pair<int, double>, std::weak_ptr<const gp::SharedGpPrior>>;
   std::shared_ptr<const gp::SharedGpPrior> prior;
   {
-    std::lock_guard<std::mutex> lock(*cache_mu);
+    std::lock_guard<std::mutex> lock(DefaultPriorCacheMutex());
+    DefaultPriorCache& cache = GetDefaultPriorCache();
+    PruneExpiredDefaultPriors(cache);
     std::weak_ptr<const gp::SharedGpPrior>& slot =
-        (*cache)[{num_models, noise_variance}];
+        cache[{num_models, noise_variance}];
     prior = slot.lock();
     if (prior == nullptr) {
-      // Sweep other expired slots while rebuilding, so the cache stays
-      // bounded by the LIVE (K, noise) shapes, not every shape ever seen.
-      for (auto it = cache->begin(); it != cache->end();) {
-        if (it->second.expired()) {
-          it = cache->erase(it);
-        } else {
-          ++it;
-        }
-      }
       EASEML_ASSIGN_OR_RETURN(
           prior, gp::MakeSharedGpPrior(linalg::Matrix::Identity(num_models),
                                        noise_variance));
-      (*cache)[{num_models, noise_variance}] = prior;
+      cache[{num_models, noise_variance}] = prior;
     }
   }
   // Qualified call: the engine's public override already holds its lock
@@ -164,6 +232,9 @@ Status MultiTenantSelector::RemoveTenant(int tenant) {
         " in-flight ticket(s); Report or Cancel them first");
   }
   user.Retire();
+  // Neutralize the leaf before the placement hook: the base engine keeps
+  // retired ids placed (neutral), the sharded engine unmaps + resyncs.
+  RefreshIndexEntry(tenant);
   OnTenantRemoved(tenant);
   return Status::OK();
 }
@@ -180,6 +251,10 @@ bool MultiTenantSelector::HasDispatchableWork() const {
   if (static_cast<int>(in_flight_.size()) >= options_.num_devices) {
     return false;
   }
+  // The index maintains the answer as an O(1)-per-shard root read; the
+  // async service consults this before every dispatch, so without it the
+  // "no scan" serving path would regress to O(T) right here.
+  if (index_ != nullptr) return index_->AnySchedulable();
   for (const auto& u : users_) {
     if (u.Schedulable()) return true;
   }
@@ -187,12 +262,23 @@ bool MultiTenantSelector::HasDispatchableWork() const {
 }
 
 Result<int> MultiTenantSelector::PickTenant(int round) {
+  if (index_ != nullptr) {
+    // Index-backed pick: the init sweep and the any-work test are O(1)
+    // root reads (exact min/or merges — the same reductions the scans
+    // fold), then the policy answers from the tournament summaries.
+    const int first_uninitialized = index_->MinUninitialized();
+    if (first_uninitialized != scheduler::CandidateIndex::kNone) {
+      return first_uninitialized;
+    }
+    if (!index_->AnySchedulable()) return NoDispatchableWorkStatus();
+    return scheduler_->PickUserIndexed(users_, round, *index_);
+  }
   // Initialization sweep (Algorithm 2 lines 1-4): any tenant without an
   // observation is served first, in registration order. A tenant whose
   // first run is still in flight is already charged — skip it, or the
   // sweep would hand its second model out before the first observation.
   for (const auto& u : users_) {
-    if (!u.has_observations() && !u.has_pending() && !u.Exhausted()) {
+    if (u.NeedsInitialObservation()) {
       return u.user_id();
     }
   }
@@ -203,27 +289,27 @@ Result<int> MultiTenantSelector::PickTenant(int round) {
       break;
     }
   }
-  if (!any_schedulable) {
-    return in_flight_.empty()
-               ? Status::FailedPrecondition("Next: all tenants exhausted")
-               : Status::FailedPrecondition(
-                     "Next: every remaining model is in flight; report a "
-                     "completion first");
-  }
+  if (!any_schedulable) return NoDispatchableWorkStatus();
   return scheduler_->PickUser(users_, round);
 }
 
 Result<int> MultiTenantSelector::SelectArmFor(int tenant) {
-  return users_[tenant].SelectArm();
+  Result<int> arm = users_[tenant].SelectArm();
+  RefreshIndexEntry(tenant);  // in-flight mask changed: key is stale
+  return arm;
 }
 
 Status MultiTenantSelector::RecordOutcomeFor(int tenant, int model,
                                              double reward) {
-  return users_[tenant].RecordOutcome(model, reward);
+  const Status status = users_[tenant].RecordOutcome(model, reward);
+  RefreshIndexEntry(tenant);  // belief, sigma~ and mask changed
+  return status;
 }
 
 Status MultiTenantSelector::CancelSelectionFor(int tenant, int model) {
-  return users_[tenant].CancelSelection(model);
+  const Status status = users_[tenant].CancelSelection(model);
+  RefreshIndexEntry(tenant);  // the arm became selectable again
+  return status;
 }
 
 Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "gp/gaussian_process.h"
 #include "gp/shared_prior_gp.h"
+#include "scheduler/candidate_index.h"
 #include "scheduler/scheduler_policy.h"
 
 namespace easeml::core {
@@ -57,6 +58,17 @@ struct SelectorOptions {
   /// to the sequential engine. Plain `MultiTenantSelector::Create` ignores
   /// the field (it IS the 1-shard engine).
   int num_shards = 1;
+
+  /// Serve `Next()` from the incremental candidate index instead of the
+  /// O(T) tenant scan: each engine shard keeps a monotone tournament tree
+  /// over its tenants' policy summaries (scheduler/candidate_index.h), a
+  /// tenant event replays one O(log T) leaf path, and a pick reads the
+  /// shard roots — bit-identical to the scan path by construction (the
+  /// index/scan conformance suite pins every policy, shard count and churn
+  /// pattern). Off by default: the scan needs no per-tenant key
+  /// maintenance on the report path, which a small-T deployment may
+  /// prefer; flip it on when T is large enough that Next() dominates.
+  bool use_candidate_index = false;
 };
 
 /// Builds the scheduler policy `options` selects (nullptr for an unknown
@@ -64,6 +76,13 @@ struct SelectorOptions {
 /// run byte-identical policy state.
 std::unique_ptr<scheduler::SchedulerPolicy> MakeSchedulerPolicy(
     const SelectorOptions& options);
+
+/// Raw entry count of the process-wide default-prior cache (live priors
+/// plus dead weak_ptrs not yet swept). Test-only observability for the
+/// cache's bounded-growth guarantee: every AddTenantWithDefaultPrior
+/// lookup/insert sweeps expired entries first, so tenant churn cannot grow
+/// the map beyond the live (K, noise) shapes. Does not prune itself.
+int DefaultPriorCacheSizeForTesting();
 
 /// The core public API of this library: ease.ml's multi-tenant, cost-aware
 /// model-selection engine (Section 4) behind a pull interface.
@@ -234,6 +253,15 @@ class MultiTenantSelector {
     return *scheduler_;
   }
 
+  /// Invariant check for the candidate index (tests / debug tooling, never
+  /// the serving path): re-derives every tenant key and replays every
+  /// aggregate from scratch, failing with Internal on the first stale leaf,
+  /// drifted exact sum, or out-of-date tournament node. OK when the index
+  /// is disabled. The sharded override additionally locks and checks the
+  /// index placement against its shard map, so AddTenant/RemoveTenant
+  /// rebalances cannot silently desynchronize the two.
+  virtual Status ValidateIndex() const;
+
  protected:
   MultiTenantSelector(const SelectorOptions& options,
                       std::unique_ptr<scheduler::SchedulerPolicy> s)
@@ -261,9 +289,39 @@ class MultiTenantSelector {
   /// Runs `users()[tenant].CancelSelection(model)`; routed likewise.
   virtual Status CancelSelectionFor(int tenant, int model);
 
-  /// Notification hooks for shard-map maintenance.
-  virtual void OnTenantAdded(int tenant) { (void)tenant; }
+  /// Notification hooks for shard-map / index maintenance. The base add
+  /// hook appends the new tenant to the 1-shard index in O(log T); the
+  /// sharded engine overrides both to update its shard map and resync the
+  /// index placement (a rebalance may move OTHER tenants between shards).
+  virtual void OnTenantAdded(int tenant);
   virtual void OnTenantRemoved(int tenant) { (void)tenant; }
+
+  // --- Candidate-index plumbing -------------------------------------------
+  //
+  // The base engine owns the (optional) index; the sharded engine swaps in
+  // an N-shard instance and overrides the placement. Every seam that
+  // mutates a tenant refreshes that tenant's leaf, so the index is fresh
+  // whenever PickTenant runs.
+
+  /// The index, or nullptr when `use_candidate_index` is off.
+  scheduler::CandidateIndex* candidate_index() { return index_.get(); }
+  const scheduler::CandidateIndex* candidate_index() const {
+    return index_.get();
+  }
+
+  /// Replaces the index with an empty `num_shards`-shard instance (the
+  /// sharded engine calls this before any tenant exists). Keys track the
+  /// line-8 gap only for schedulers that consume it (GREEDY/HYBRID).
+  void ResetIndex(int num_shards);
+
+  /// Recomputes `tenant`'s key and replays its leaf path (no-op when
+  /// disabled). Call after ANY event that changes the tenant's state.
+  void RefreshIndexEntry(int tenant);
+
+  /// The one source of the two no-work refusals (all exhausted vs
+  /// everything in flight): the conformance suite compares Status TEXT
+  /// between engines, so every pick path must emit identical strings.
+  Status NoDispatchableWorkStatus() const;
 
   const SelectorOptions& options() const { return options_; }
   std::vector<scheduler::UserState>& users() { return users_; }
@@ -283,6 +341,10 @@ class MultiTenantSelector {
 
   SelectorOptions options_;
   std::unique_ptr<scheduler::SchedulerPolicy> scheduler_;
+  /// Incremental candidate index (nullptr when disabled): per-shard
+  /// tournament trees + exact threshold aggregates answering PickTenant in
+  /// O(log T) instead of an O(T) scan.
+  std::unique_ptr<scheduler::CandidateIndex> index_;
   std::vector<scheduler::UserState> users_;
   std::vector<int> best_model_;  // -1 until first report
   /// Outstanding assignments keyed by ticket id.

@@ -1,0 +1,248 @@
+#ifndef EASEML_SCHEDULER_CANDIDATE_INDEX_H_
+#define EASEML_SCHEDULER_CANDIDATE_INDEX_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/exact_sum.h"
+#include "common/status.h"
+#include "common/tournament_tree.h"
+#include "scheduler/user_state.h"
+
+namespace easeml::scheduler {
+
+/// Incremental candidate index: the "no scan" serving path.
+///
+/// Every `Next()` of the scan engines (sequential or sharded) rescans all T
+/// tenants even though a `Report` changes exactly one tenant's (bound, gap)
+/// summary. The index inverts that: each shard keeps a monotone
+/// `TournamentTree` over its tenants' policy summaries (`TenantKey` →
+/// `IndexNode`, merged with the same total-order tie-breaks as the scan
+/// reductions), plus the exactly-mergeable scalar aggregates of GREEDY's
+/// candidate threshold. A tenant event (`Report`, `Cancel`, arm selection,
+/// retirement) refreshes ONE leaf and replays its O(log T) root path; a
+/// pick reads the N shard roots in O(1) each and merges them exactly like
+/// the scan path's `ReduceTree`, so the result is bit-identical to the scan
+/// for every shard count.
+///
+/// ## Per-policy keys and their invalidation contract
+///
+/// Every `SchedulerPolicy` consumes the index through `PickUserIndexed`;
+/// the per-tenant key material each policy relies on is derived in ONE
+/// place (`MakeTenantKey`) from `UserState`:
+///
+///   - GREEDY: (UCB bound sigma~, line-8 gap, exact-sum candidate
+///     membership). The candidate threshold "bound * finite_count >= exact
+///     sum" is evaluated against incrementally maintained `ExactDoubleSum`
+///     aggregates — exact integer arithmetic, so adding a bound and later
+///     subtracting it restores the accumulator bit-for-bit and the
+///     incremental sum equals the scan's fresh accumulation exactly. The
+///     line-8 argmax runs as a pruned tournament descent (candidacy is
+///     monotone in the bound, so a subtree whose max bound fails the
+///     threshold holds no candidate).
+///   - ROUNDROBIN / FCFS: min-id and cyclic-distance picks are answered
+///     from `min_schedulable` summaries; the cursor is a QUERY parameter
+///     (two O(log T) descents: min schedulable id >= cursor, else global
+///     min), so advancing it never touches a leaf — the epoch-offset idea
+///     with the offset applied at read time.
+///   - RANDOM: per-node schedulable counts give the total for the uniform
+///     draw (identical RNG stream) and rank/prefix counts let a binary
+///     search recover the j-th schedulable id in global ascending order.
+///   - HYBRID: delegates to the active phase (GREEDY before the freeze
+///     switch, ROUNDROBIN after); its freeze detector runs in `OnOutcome`,
+///     outside the pick path, identically on both paths.
+///
+/// Keys go stale the moment their tenant's state changes; the owning
+/// selector MUST call `Refresh` after every event that touches a tenant —
+/// arm selection, outcome fold, cancel, retire — before the next pick.
+/// Tenant churn additionally re-partitions shards (the shard map rebalances
+/// within +-1), which re-slots leaves: the selector calls `SyncPlacement`
+/// with the new shard->tenants lists (cached keys are reused; churn costs
+/// O(T) re-aggregation, no per-tenant O(K) diagnostics reads).
+///
+/// Not thread-safe as a whole; per-shard trees are touched only by the
+/// shard's owning worker (or the coordinator while workers are quiescent),
+/// under the selector's synchronization.
+class CandidateIndex {
+ public:
+  /// Sentinel for "no tenant": merges below as min-identity, mirroring the
+  /// scan reductions' kNoUser/kNone.
+  static constexpr int kNone = std::numeric_limits<int>::max();
+
+  /// Per-tenant key material, derived from `UserState` by `MakeTenantKey`
+  /// only. `bound`/`gap` are meaningful only when `schedulable`.
+  struct TenantKey {
+    bool schedulable = false;    // UserState::Schedulable()
+    bool uninitialized = false;  // UserState::NeedsInitialObservation()
+    bool bad_policy = false;     // live tenant without confidence bounds
+    double bound = 0.0;          // empirical bound sigma~ (Algorithm 2 l.6)
+    double gap = 0.0;            // line-8 key: MaxUcb - best_reward
+  };
+
+  /// Tournament summary over a leaf range. All merges are exact (integer
+  /// counts, min-id, strictly-greater-key argmax with lowest-id tie-break —
+  /// the scan reductions' total orders), so the root is independent of the
+  /// leaf partition and grouping.
+  struct IndexNode {
+    int cnt_schedulable = 0;
+    int min_schedulable = kNone;    // lowest schedulable tenant id
+    int min_uninitialized = kNone;  // lowest id the init sweep must serve
+    int min_bad_policy = kNone;     // lowest live tenant without bounds
+    // Argmax pairs with the scan's -inf-sentinel fold semantics: only keys
+    // strictly above -inf (never NaN) occupy a pair; ties keep the lower
+    // id. id == kNone marks "no qualifying tenant in this subtree".
+    double max_bound = 0.0;
+    int max_bound_id = kNone;
+    double max_gap = 0.0;
+    int max_gap_id = kNone;
+
+    static IndexNode MakeLeaf(int tenant, const TenantKey& key);
+    static IndexNode Merge(const IndexNode& a, const IndexNode& b);
+  };
+
+  /// GREEDY's candidate-membership context: the exact threshold statistics
+  /// merged over every shard. When `all_candidates` (no finite bound
+  /// exists) every schedulable tenant is a candidate and the threshold test
+  /// is skipped — the scan paths' fallback.
+  struct Candidacy {
+    const ExactDoubleSum* sum = nullptr;
+    int finite_count = 0;
+    bool all_candidates = false;
+
+    /// Exact Algorithm 2 line 7 membership test for a schedulable tenant's
+    /// bound; identical to the scan paths' BoundIsCandidate.
+    bool Admits(double bound) const;
+  };
+
+  /// Best (key, lowest-id) pair of a pruned argmax descent; `user == kNone`
+  /// when no candidate key rose above the -inf sentinel.
+  struct Best {
+    double key = -std::numeric_limits<double>::infinity();
+    int user = kNone;
+
+    /// The scan reductions' total order: strictly larger key wins, exact
+    /// ties keep the lower id. NaN never beats anything.
+    bool Beats(const Best& other) const {
+      return user != kNone &&
+             (other.user == kNone || key > other.key ||
+              (key == other.key && user < other.user));
+    }
+  };
+
+  /// An index over `num_shards` >= 1 shard trees, initially empty.
+  /// `track_gap` controls whether keys carry the line-8 gap — the one
+  /// O(K) derivation (the batched MaxUcb read). Only GREEDY/HYBRID picks
+  /// consume it; engines serving the other schedulers pass false so the
+  /// per-event refresh stays O(log T) with no posterior reads at all.
+  explicit CandidateIndex(int num_shards, bool track_gap = true);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Bulk (re)build: replaces the shard->tenants placement. `locals[s]`
+  /// lists shard s's tenant ids ascending; every id must be < users.size()
+  /// and appear in at most one shard. Cached keys are reused for tenants
+  /// the index already tracks; keys for new tenants are derived from
+  /// `users`. O(T) total — the rebalance path, not the add hot path.
+  void SyncPlacement(const std::vector<std::vector<int>>& locals,
+                     const std::vector<UserState>& users);
+
+  /// Places a NEW tenant at the tail of `shard` in O(log T) amortized —
+  /// valid because tenant ids grow monotonically, so a new id is above
+  /// every placed id. The single-shard engine's add path (the sharded
+  /// engine resyncs instead: its map may rebalance other tenants).
+  void AppendTenant(int shard, const UserState& user);
+
+  /// Recomputes `user`'s key (the only O(K) step: the batched MaxUcb
+  /// diagnostics read) and replays its leaf's O(log T) root path plus the
+  /// shard's scalar aggregates. No-op on the tree when the tenant is not
+  /// placed (e.g. already retired out of the placement).
+  void Refresh(const UserState& user);
+
+  // --- O(1) per-shard reads (merge across shards at the call site) -------
+  const IndexNode& Root(int shard) const { return shards_[shard].tree.Root(); }
+  int FiniteCount(int shard) const { return shards_[shard].finite_count; }
+  const ExactDoubleSum& BoundSum(int shard) const {
+    return shards_[shard].bound_sum;
+  }
+
+  // --- Cross-shard convenience reads (exact min/sum merges) --------------
+  /// Lowest tenant id the initialization sweep must serve; kNone if none.
+  int MinUninitialized() const;
+  /// True iff any tenant is schedulable right now.
+  bool AnySchedulable() const;
+
+  // --- Pruned descents (per shard; merge across shards at the call site) --
+  /// Argmax of the line-8 key over shard-local CANDIDATES, threaded through
+  /// `best` so later shards prune against earlier winners. `use_gap` picks
+  /// the gap key (kMaxUcbGap) vs the bound itself (kMaxEmpiricalBound).
+  Best BestCandidate(int shard, const Candidacy& candidacy, bool use_gap,
+                     Best best) const;
+
+  /// Lowest candidate tenant id in `shard`; kNone if none. (The scan's
+  /// min_candidate fallback for the all-keys-at--inf case.)
+  int MinCandidate(int shard, const Candidacy& candidacy) const;
+
+  /// Lowest schedulable tenant id >= `id_floor` in `shard`; kNone if none.
+  /// Round-robin's cyclic pick = this at the cursor, else the global min.
+  int MinSchedulableAtLeast(int shard, int id_floor) const;
+
+  /// Number of schedulable tenants in `shard` with id <= `id_cap` —
+  /// RANDOM's rank query for recovering the j-th schedulable id.
+  int CountSchedulableLeq(int shard, int id_cap) const;
+
+  /// The cached key for `tenant` (fresh iff the invalidation contract was
+  /// honored). Valid for any id the index has ever seen.
+  const TenantKey& Key(int tenant) const { return keys_[tenant]; }
+
+  /// Whether keys carry the line-8 gap (see the constructor).
+  bool track_gap() const { return track_gap_; }
+
+  /// Invariant check (tests / debug builds): recomputes every key from
+  /// `users` and every aggregate from scratch and compares against the
+  /// incrementally maintained state — keys bit-for-bit, sums by exact
+  /// comparison, every tree node re-merged. Returns Internal on the first
+  /// divergence. O(T log T); never called on the serving path.
+  Status Validate(const std::vector<UserState>& users) const;
+
+  /// The placement the index currently reflects (ascending per shard);
+  /// the sharded engine's ValidateIndex checks it against its shard map.
+  std::vector<std::vector<int>> Placement() const;
+
+ private:
+  struct Shard {
+    TournamentTree<IndexNode> tree;
+    std::vector<int> tenants;  // leaf slot -> tenant id, ascending
+    // GREEDY phase-A scalar aggregates, maintained by exact +/- deltas:
+    // ExactDoubleSum is exact integer arithmetic, so removals cancel
+    // additions bit-for-bit and the running value always equals a fresh
+    // accumulation over the current members.
+    ExactDoubleSum bound_sum;
+    int finite_count = 0;
+  };
+
+  /// Rebuilds one shard's tree + scalars from cached keys. O(|tenants|).
+  void RebuildShard(int shard);
+
+  /// MakeTenantKey with this index's gap-tracking mode (defined after the
+  /// free function's declaration).
+  TenantKey DeriveKey(const UserState& user) const;
+
+  bool track_gap_ = true;
+  std::vector<Shard> shards_;
+  // Indexed by tenant id (ids are dense and never reused).
+  std::vector<TenantKey> keys_;
+  std::vector<int> shard_of_;  // -1 when not placed
+  std::vector<int> slot_of_;
+};
+
+/// The ONE derivation of a tenant's index key from its runtime state; both
+/// the incremental refresh and the bulk build call this, and `Validate`
+/// recomputes it to catch stale leaves. `track_gap` = false skips the
+/// O(K) UcbGap read (the key's gap stays -inf and never wins a tournament
+/// pair) for schedulers that never consume it.
+CandidateIndex::TenantKey MakeTenantKey(const UserState& user,
+                                        bool track_gap = true);
+
+}  // namespace easeml::scheduler
+
+#endif  // EASEML_SCHEDULER_CANDIDATE_INDEX_H_

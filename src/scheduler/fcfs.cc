@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/reduction_tree.h"
+#include "scheduler/candidate_index.h"
 
 namespace easeml::scheduler {
 
@@ -34,6 +35,23 @@ Result<int> FcfsScheduler::PickUserSharded(const std::vector<UserState>& users,
   const int winner =
       ReduceTree(std::move(first), [](int a, int b) { return std::min(a, b); });
   if (winner == kNone) {
+    return Status::FailedPrecondition("FCFS: all users exhausted");
+  }
+  return winner;
+}
+
+Result<int> FcfsScheduler::PickUserIndexed(const std::vector<UserState>& users,
+                                           int round,
+                                           const CandidateIndex& index) {
+  (void)users;
+  (void)round;
+  // min_schedulable is maintained at every tournament root; the min-merge
+  // across shards is the scan's reduction, read in O(N) with no scan.
+  int winner = CandidateIndex::kNone;
+  for (int s = 0; s < index.num_shards(); ++s) {
+    winner = std::min(winner, index.Root(s).min_schedulable);
+  }
+  if (winner == CandidateIndex::kNone) {
     return Status::FailedPrecondition("FCFS: all users exhausted");
   }
   return winner;

@@ -18,6 +18,9 @@ class FcfsScheduler : public SchedulerPolicy {
   /// Min-reduce of each shard's lowest schedulable user id.
   Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
                               ShardScan& scan) override;
+  /// O(1) per shard: the lowest schedulable id is a tournament-root field.
+  Result<int> PickUserIndexed(const std::vector<UserState>& users, int round,
+                              const CandidateIndex& index) override;
   std::string name() const override { return "fcfs"; }
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/exact_sum.h"
 #include "common/reduction_tree.h"
+#include "scheduler/candidate_index.h"
 
 namespace easeml::scheduler {
 
@@ -271,6 +272,85 @@ Result<int> GreedyScheduler::PickUserSharded(
   // would have kept its `candidates[0]` initializer.
   if (winner.user == kNoUser) return winner.min_candidate;
   return winner.user;
+}
+
+Result<int> GreedyScheduler::PickUserIndexed(const std::vector<UserState>& users,
+                                             int round,
+                                             const CandidateIndex& index) {
+  if (rule_ == Line8Rule::kRandom) {
+    // Documented fallback: the random rule draws the j-th CANDIDATE, and
+    // candidate ranks depend on the threshold that moves with every report
+    // — not indexable by a static tournament. The sequential scan consumes
+    // the RNG stream identically, so conformance is preserved.
+    return PickUser(users, round);
+  }
+  (void)round;
+  const int num_shards = index.num_shards();
+
+  // Phase A from the O(1) per-shard aggregates. Count/min merges are
+  // associative and the bound sum is exact, so this sequential fold equals
+  // the scan paths' ReduceTree(MergeStats) bit-for-bit.
+  int bad_user = kNoUser;
+  int active = 0;
+  int finite = 0;
+  ExactDoubleSum sum;
+  for (int s = 0; s < num_shards; ++s) {
+    const CandidateIndex::IndexNode& root = index.Root(s);
+    bad_user = std::min(bad_user, root.min_bad_policy);
+    active += root.cnt_schedulable;
+    finite += index.FiniteCount(s);
+    sum.Merge(index.BoundSum(s));
+  }
+  if (bad_user != kNoUser) {
+    return Status::FailedPrecondition(
+        "Greedy: user " + std::to_string(bad_user) +
+        " does not run a belief-backed policy (GP-UCB)");
+  }
+  if (active == 0) {
+    return Status::FailedPrecondition("Greedy: all users exhausted");
+  }
+  CandidateIndex::Candidacy candidacy;
+  candidacy.sum = &sum;
+  candidacy.finite_count = finite;
+  candidacy.all_candidates = finite == 0;
+  const bool use_gap = rule_ == Line8Rule::kMaxUcbGap;
+
+  // Phase B quick path: the global argmax key over ALL schedulable users,
+  // read off the shard roots in O(1). When it is itself a candidate it is
+  // the argmax over candidates too (same total order on a superset) — the
+  // common case, since high sigma~ and high UCB gap are correlated. For
+  // the max-empirical-bound rule this always resolves: the largest finite
+  // bound passes its own average and +inf is always a candidate.
+  CandidateIndex::Best best;
+  for (int s = 0; s < num_shards; ++s) {
+    const CandidateIndex::IndexNode& root = index.Root(s);
+    const CandidateIndex::Best shard_best{
+        use_gap ? root.max_gap : root.max_bound,
+        use_gap ? root.max_gap_id : root.max_bound_id};
+    if (shard_best.Beats(best)) best = shard_best;
+  }
+  if (best.user != CandidateIndex::kNone &&
+      !candidacy.Admits(index.Key(best.user).bound)) {
+    // Slow path: pruned tournament descent per shard, threaded so later
+    // shards prune against earlier winners (associative total order — same
+    // result as the scan's tree-merge of per-shard argmaxes).
+    best = CandidateIndex::Best{};
+    for (int s = 0; s < num_shards; ++s) {
+      best = index.BestCandidate(s, candidacy, use_gap, best);
+    }
+  }
+  if (best.user != CandidateIndex::kNone) return best.user;
+
+  // No candidate key above -inf (all NaN/-inf): the sequential loop keeps
+  // its `candidates[0]` initializer — the lowest candidate id.
+  int min_candidate = kNoUser;
+  for (int s = 0; s < num_shards; ++s) {
+    min_candidate = std::min(min_candidate, index.MinCandidate(s, candidacy));
+  }
+  if (min_candidate == kNoUser) {
+    return Status::Internal("Greedy: empty candidate set in index");
+  }
+  return min_candidate;
 }
 
 }  // namespace easeml::scheduler

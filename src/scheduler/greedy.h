@@ -58,6 +58,14 @@ class GreedyScheduler : public SchedulerPolicy {
   /// MaxUcb reads — merged with a (key, lowest-id) total order.
   Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
                               ShardScan& scan) override;
+  /// Index-backed pick: phase A from the exactly-merged shard aggregates
+  /// (O(N)), phase B from the root argmax when it is a candidate (the
+  /// common case) or a pruned tournament descent otherwise — no O(T) scan,
+  /// no per-candidate MaxUcb reads. The random line-8 rule falls back to
+  /// the sequential scan (candidate RANKS are not indexable under a moving
+  /// threshold); the default max-ucb-gap rule is fully indexed.
+  Result<int> PickUserIndexed(const std::vector<UserState>& users, int round,
+                              const CandidateIndex& index) override;
   bool RequiresInitialSweep() const override { return true; }
   std::string name() const override { return "greedy"; }
 

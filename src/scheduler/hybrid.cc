@@ -22,6 +22,13 @@ Result<int> HybridScheduler::PickUserSharded(
   return greedy_.PickUserSharded(users, round, scan);
 }
 
+Result<int> HybridScheduler::PickUserIndexed(
+    const std::vector<UserState>& users, int round,
+    const CandidateIndex& index) {
+  if (switched_) return round_robin_.PickUserIndexed(users, round, index);
+  return greedy_.PickUserIndexed(users, round, index);
+}
+
 void HybridScheduler::OnOutcome(const std::vector<UserState>& users,
                                 int served_user) {
   (void)served_user;

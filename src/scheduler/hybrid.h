@@ -30,6 +30,12 @@ class HybridScheduler : public SchedulerPolicy {
   /// OnOutcome on the coordinator, identically on both paths.
   Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
                               ShardScan& scan) override;
+  /// Delegates to the active phase's indexed pick (GREEDY before the
+  /// freeze, ROUNDROBIN after). The freeze detector stays in OnOutcome on
+  /// the report path — it compares whole candidate SETS, which no O(log T)
+  /// summary answers — so HYBRID's Next() is fully indexed either way.
+  Result<int> PickUserIndexed(const std::vector<UserState>& users, int round,
+                              const CandidateIndex& index) override;
   void OnOutcome(const std::vector<UserState>& users,
                  int served_user) override;
   bool RequiresInitialSweep() const override { return true; }

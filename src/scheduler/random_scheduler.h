@@ -18,6 +18,10 @@ class RandomScheduler : public SchedulerPolicy {
   /// single uniform draw as the sequential pick (identical RNG stream).
   Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
                               ShardScan& scan) override;
+  /// Index-backed pick: schedulable total off the shard roots (identical
+  /// single draw), then rank binary search for the j-th schedulable id.
+  Result<int> PickUserIndexed(const std::vector<UserState>& users, int round,
+                              const CandidateIndex& index) override;
   std::string name() const override { return "random"; }
 
  private:

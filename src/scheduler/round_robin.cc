@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/reduction_tree.h"
+#include "scheduler/candidate_index.h"
 
 namespace easeml::scheduler {
 
@@ -45,6 +46,33 @@ Result<int> RoundRobinScheduler::PickUserSharded(
   const Closest winner = ReduceTree(
       std::move(closest),
       [](const Closest& a, const Closest& b) { return std::min(a, b); });
+  if (winner.second == kNone) {
+    return Status::FailedPrecondition("RoundRobin: all users exhausted");
+  }
+  cursor_ = (winner.second + 1) % n;  // same cursor advance as PickUser
+  return winner.second;
+}
+
+Result<int> RoundRobinScheduler::PickUserIndexed(
+    const std::vector<UserState>& users, int round,
+    const CandidateIndex& index) {
+  (void)round;
+  const int n = static_cast<int>(users.size());
+  if (n == 0) return Status::InvalidArgument("RoundRobin: no users");
+  // The cursor is a QUERY parameter, not leaf state: per shard, the
+  // cyclically-closest schedulable user is the lowest schedulable id at or
+  // after the cursor (an O(log T) suffix descent) — whose distance always
+  // beats any wrapped-around id — else the shard's overall minimum (root
+  // read). Distances are distinct across users, so the min-merge has the
+  // scan's unique winner; the cursor advance is identical.
+  constexpr int kNone = CandidateIndex::kNone;
+  std::pair<int, int> winner{kNone, kNone};  // (cyclic distance, user)
+  for (int s = 0; s < index.num_shards(); ++s) {
+    int pick = index.MinSchedulableAtLeast(s, cursor_);
+    if (pick == kNone) pick = index.Root(s).min_schedulable;
+    if (pick == kNone) continue;
+    winner = std::min(winner, {(pick - cursor_ + n) % n, pick});
+  }
   if (winner.second == kNone) {
     return Status::FailedPrecondition("RoundRobin: all users exhausted");
   }

@@ -15,6 +15,11 @@ class RoundRobinScheduler : public SchedulerPolicy {
   /// the cursor; advances the cursor exactly like the sequential walk.
   Result<int> PickUserSharded(const std::vector<UserState>& users, int round,
                               ShardScan& scan) override;
+  /// Index-backed pick: the cursor shift is applied at READ time (lowest
+  /// schedulable id >= cursor via suffix descent, else the root minimum),
+  /// so advancing the cursor never touches a leaf.
+  Result<int> PickUserIndexed(const std::vector<UserState>& users, int round,
+                              const CandidateIndex& index) override;
   std::string name() const override { return "round-robin"; }
 
  private:

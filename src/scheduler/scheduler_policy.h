@@ -10,6 +10,8 @@
 
 namespace easeml::scheduler {
 
+class CandidateIndex;
+
 /// Parallel-scan substrate a sharded selector engine hands to
 /// `SchedulerPolicy::PickUserSharded`: users are partitioned into shards,
 /// each owned by one worker thread that scans only its local tenants.
@@ -60,6 +62,22 @@ class SchedulerPolicy {
   virtual Result<int> PickUserSharded(const std::vector<UserState>& users,
                                       int round, ShardScan& scan) {
     (void)scan;
+    return PickUser(users, round);
+  }
+
+  /// Index-backed twin of `PickUser`: answers the pick from the selector's
+  /// incremental candidate index (per-shard tournament roots + pruned
+  /// descents, see scheduler/candidate_index.h) in O(log T) instead of
+  /// rescanning all T users — and must pick the SAME user `PickUser` would,
+  /// bit-identically, with identical consumption of any policy state
+  /// (cursors, RNG streams). The caller guarantees the index is fresh
+  /// (every tenant event was `Refresh`ed). The default falls back to the
+  /// sequential scan — correct for any policy, just not indexed; policies
+  /// whose pick cannot beat the scan (RANDOM's candidate-rank draw under a
+  /// threshold-dependent candidate set) deliberately keep it.
+  virtual Result<int> PickUserIndexed(const std::vector<UserState>& users,
+                                      int round, const CandidateIndex& index) {
+    (void)index;
     return PickUser(users, round);
   }
 

@@ -92,6 +92,15 @@ class UserState {
            num_played_ + num_in_flight_ < num_models();
   }
 
+  /// True while the initialization sweep of Algorithm 2 lines 1-4 must
+  /// still serve this user before regular scheduling: no observation yet,
+  /// nothing in flight (the first run may already be charged), not
+  /// exhausted. Shared by the selector's sweep scan and the candidate
+  /// index's per-tenant key so the two paths can never diverge.
+  bool NeedsInitialObservation() const {
+    return !has_observations() && !has_pending() && !Exhausted();
+  }
+
   /// Arms neither played nor in flight, ascending.
   std::vector<int> AvailableArms() const;
 

@@ -16,7 +16,12 @@ ShardedMultiTenantSelector::ShardedMultiTenantSelector(
     core::MultiTenantSelector&& base, int num_shards)
     : core::MultiTenantSelector(std::move(base)),
       map_(num_shards),
-      pool_(num_shards) {}
+      pool_(num_shards) {
+  // The base Create built a 1-shard index when the option is on; swap in
+  // the N-shard instance before any tenant exists so leaves land on their
+  // owning shard's tree from the start.
+  if (candidate_index() != nullptr) ResetIndex(num_shards);
+}
 
 Result<std::unique_ptr<ShardedMultiTenantSelector>>
 ShardedMultiTenantSelector::Create(const core::SelectorOptions& options) {
@@ -40,7 +45,23 @@ auto ShardedMultiTenantSelector::RouteToOwner(int tenant, Fn fn)
   return result;
 }
 
+void ShardedMultiTenantSelector::SyncIndexPlacement() {
+  scheduler::CandidateIndex* index = candidate_index();
+  if (index == nullptr) return;
+  std::vector<std::vector<int>> locals;
+  locals.reserve(static_cast<size_t>(map_.num_shards()));
+  for (int s = 0; s < map_.num_shards(); ++s) locals.push_back(map_.local(s));
+  index->SyncPlacement(locals, users());
+}
+
 Result<int> ShardedMultiTenantSelector::PickTenant(int round) {
+  if (candidate_index() != nullptr) {
+    // Index-backed pick: O(1) shard-root reads on the coordinator (the
+    // pool's barriers make every worker-side leaf refresh visible here) —
+    // no fan-out, no scan. The base implementation already merges the
+    // roots exactly like the reductions below.
+    return core::MultiTenantSelector::PickTenant(round);
+  }
   // Fan the initialization-sweep / any-work scan out over the shards. The
   // per-shard summary is (lowest uninitialized tenant, any schedulable);
   // min/or merges make the reduction partition-invariant, so the sweep
@@ -55,8 +76,7 @@ Result<int> ShardedMultiTenantSelector::PickTenant(int round) {
     Sweep& part = parts[shard];
     for (int t : map_.local(shard)) {
       const scheduler::UserState& u = users()[t];
-      if (part.first_uninitialized == kNone && !u.has_observations() &&
-          !u.has_pending() && !u.Exhausted()) {
+      if (part.first_uninitialized == kNone && u.NeedsInitialObservation()) {
         part.first_uninitialized = t;  // locals ascend: first hit is the min
       }
       if (u.Schedulable()) part.any_schedulable = true;
@@ -70,13 +90,7 @@ Result<int> ShardedMultiTenantSelector::PickTenant(int round) {
         return a;
       });
   if (merged.first_uninitialized != kNone) return merged.first_uninitialized;
-  if (!merged.any_schedulable) {
-    return in_flight().empty()
-               ? Status::FailedPrecondition("Next: all tenants exhausted")
-               : Status::FailedPrecondition(
-                     "Next: every remaining model is in flight; report a "
-                     "completion first");
-  }
+  if (!merged.any_schedulable) return NoDispatchableWorkStatus();
   return scheduler().PickUserSharded(users(), round, *this);
 }
 
@@ -182,6 +196,25 @@ Result<double> ShardedMultiTenantSelector::BestAccuracy(int tenant) const {
 Result<int> ShardedMultiTenantSelector::RoundsServed(int tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
   return core::MultiTenantSelector::RoundsServed(tenant);
+}
+
+Status ShardedMultiTenantSelector::ValidateIndex() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const scheduler::CandidateIndex* index = candidate_index();
+  if (index == nullptr) return Status::OK();
+  // Placement must mirror the shard map exactly (rebalances resync it).
+  const std::vector<std::vector<int>> placement = index->Placement();
+  if (static_cast<int>(placement.size()) != map_.num_shards()) {
+    return Status::Internal("index: shard count diverged from the map");
+  }
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    if (placement[static_cast<size_t>(s)] != map_.local(s)) {
+      return Status::Internal("index: placement of shard " +
+                              std::to_string(s) +
+                              " diverged from the shard map");
+    }
+  }
+  return core::MultiTenantSelector::ValidateIndex();
 }
 
 std::vector<int> ShardedMultiTenantSelector::ShardSizes() const {

@@ -36,6 +36,14 @@ namespace easeml::shard {
 /// the tenant's `UserState`, so no cross-shard belief synchronization ever
 /// happens — shards only exchange their summaries at the reduction.
 ///
+/// With `SelectorOptions::use_candidate_index` the scan fan-out disappears
+/// entirely: each shard keeps an incremental tournament tree over its
+/// local tenants (`scheduler::CandidateIndex`, placement mirroring the
+/// shard map), the routed seams refresh the served tenant's leaf on its
+/// owning worker in O(log T), and `Next()` reads the N shard roots on the
+/// coordinator — same picks, bit-identically, with no per-pick O(T/N)
+/// work anywhere (see PickTenant).
+///
 /// Drop-in: the class IS a `core::MultiTenantSelector` (same ticketed
 /// `Next()/Report()/Cancel()` protocol, same Status taxonomy), selected via
 /// `SelectorOptions::num_shards > 1` through `MakeSelector`. Unlike the
@@ -82,6 +90,12 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   /// critical path in tenants (diagnostics / bench).
   std::vector<int> ShardSizes() const;
 
+  /// Thread-safe index invariant check (see the base class): additionally
+  /// verifies the index placement mirrors the shard map exactly, so tenant
+  /// churn rebalances can never desynchronize leaf ownership. Wired into
+  /// the stress battery; OK when the index is disabled.
+  Status ValidateIndex() const override;
+
   /// Cumulative per-shard-worker CPU seconds spent scanning. Max over
   /// shards tracks the parallel scan's critical path even when the host
   /// has fewer cores than shards (see ShardPool).
@@ -102,8 +116,25 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   Result<int> SelectArmFor(int tenant) override;
   Status RecordOutcomeFor(int tenant, int model, double reward) override;
   Status CancelSelectionFor(int tenant, int model) override;
-  void OnTenantAdded(int tenant) override { map_.Add(tenant); }
-  void OnTenantRemoved(int tenant) override { map_.Remove(tenant); }
+  // Churn re-partitions the shard map (rebalanced within +-1, which may
+  // move OTHER tenants between shards); the candidate index mirrors the
+  // new placement via SyncIndex. On add, the base engine syncs right after
+  // this hook; removal syncs here (the base only neutralizes the leaf).
+  void OnTenantAdded(int tenant) override {
+    map_.Add(tenant);
+    SyncIndexPlacement();
+  }
+  void OnTenantRemoved(int tenant) override {
+    map_.Remove(tenant);
+    SyncIndexPlacement();
+  }
+
+  /// Rebuilds the index placement from the shard map's partition (no-op
+  /// when the index is disabled): one tournament tree per shard over its
+  /// local tenants, so a tenant's leaf refresh runs on its owning worker
+  /// (inside the routed seams) and stays shard-local. Cached keys are
+  /// reused — churn costs O(T) re-aggregation, not O(T·K) re-reads.
+  void SyncIndexPlacement();
 
   /// Runs `fn` on `tenant`'s owning shard worker and returns its result.
   template <typename Fn>

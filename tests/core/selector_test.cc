@@ -188,5 +188,35 @@ INSTANTIATE_TEST_SUITE_P(AllSchedulers, SelectorSchedulerKindTest,
                                            SchedulerKind::kRandom,
                                            SchedulerKind::kFcfs));
 
+/// Regression for the default-prior cache's bounded-growth guarantee: a
+/// long-lived service whose tenant churn retires (K, noise) shapes must
+/// not accumulate dead weak_ptr entries — EVERY lookup (hits included)
+/// sweeps expired slots, so the raw map size collapses back to the live
+/// shapes on the next AddTenantWithDefaultPrior of any kind.
+TEST(SelectorTest, DefaultPriorCachePrunesDeadShapesOnLookup) {
+  // A live anchor shape that persists across the churn below.
+  auto anchor = MakeSelector();
+  ASSERT_TRUE(anchor.AddTenantWithDefaultPrior(3, {1.0, 1.0, 1.0}).ok());
+  const int live_floor = DefaultPriorCacheSizeForTesting();
+
+  {
+    // Churned shapes: distinct (K, noise) entries that die with this
+    // selector (the prior is shared only by its tenants).
+    auto churned = MakeSelector();
+    for (int k = 4; k < 14; ++k) {
+      ASSERT_TRUE(
+          churned.AddTenantWithDefaultPrior(k, std::vector<double>(k, 1.0))
+              .ok());
+    }
+    EXPECT_GE(DefaultPriorCacheSizeForTesting(), live_floor + 10);
+  }
+  // The weak_ptrs are dead but unswept: the raw size still includes them.
+  EXPECT_GE(DefaultPriorCacheSizeForTesting(), live_floor + 10);
+
+  // A pure cache HIT (the anchor's live shape) must sweep all ten.
+  ASSERT_TRUE(anchor.AddTenantWithDefaultPrior(3, {1.0, 1.0, 1.0}).ok());
+  EXPECT_EQ(DefaultPriorCacheSizeForTesting(), live_floor);
+}
+
 }  // namespace
 }  // namespace easeml::core

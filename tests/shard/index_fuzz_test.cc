@@ -1,0 +1,239 @@
+/// Randomized fuzz-conformance suite for the incremental candidate index:
+/// for every scheduler policy, >= 10k pseudo-random mixed events —
+/// Next / Report (in- and out-of-order) / Cancel / stale-ticket replays /
+/// AddTenant / RemoveTenant (valid, in-flight-refused, out-of-range) — are
+/// applied in lockstep to a scan-backed reference selector and to
+/// index-backed engines (unsharded and sharded), asserting event-for-event
+/// that every assignment, tenant id and Status code is identical. Periodic
+/// ValidateIndex() sweeps re-derive every key and aggregate from scratch,
+/// so a stale leaf or drifted exact sum fails even if it never changed a
+/// pick within the horizon.
+#include "shard/sharded_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/multi_tenant_selector.h"
+
+namespace easeml::shard {
+namespace {
+
+using core::MultiTenantSelector;
+using core::SchedulerKind;
+using core::SelectorOptions;
+using Assignment = MultiTenantSelector::Assignment;
+
+constexpr int kEvents = 10000;
+constexpr int kModels = 4;
+constexpr int kInitialTenants = 12;
+constexpr int kDevices = 3;
+
+constexpr SchedulerKind kAllKinds[] = {
+    SchedulerKind::kHybrid, SchedulerKind::kGreedy, SchedulerKind::kRoundRobin,
+    SchedulerKind::kRandom, SchedulerKind::kFcfs};
+
+double Accuracy(int tenant, int model) {
+  const uint64_t x = SplitMix64(static_cast<uint64_t>(tenant) * 99991u +
+                                static_cast<uint64_t>(model) + 17u);
+  return 0.05 + 0.9 * (static_cast<double>(x >> 11) * 0x1.0p-53);
+}
+
+std::vector<double> Costs(int tenant, int models) {
+  std::vector<double> costs;
+  for (int m = 0; m < models; ++m) {
+    costs.push_back(1.0 + 0.25 * ((tenant + m) % models));
+  }
+  return costs;
+}
+
+SelectorOptions MakeOptions(SchedulerKind kind, int shards, bool use_index) {
+  SelectorOptions options;
+  options.scheduler = kind;
+  options.hybrid_patience = 3;
+  options.seed = 11;
+  options.num_devices = kDevices;
+  options.num_shards = shards;
+  options.use_candidate_index = use_index;
+  return options;
+}
+
+struct Engine {
+  std::string label;
+  std::unique_ptr<MultiTenantSelector> selector;
+};
+
+class IndexFuzzConformanceTest
+    : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(IndexFuzzConformanceTest, IndexedPicksEqualScanPicksEventForEvent) {
+  const SchedulerKind kind = GetParam();
+
+  // The reference is the scan-backed sequential engine; the subjects run
+  // the index-backed pick path, unsharded and sharded.
+  std::vector<Engine> engines;
+  for (auto [shards, use_index, label] :
+       {std::tuple<int, bool, const char*>{1, false, "scan/N=1"},
+        std::tuple<int, bool, const char*>{1, true, "index/N=1"},
+        std::tuple<int, bool, const char*>{3, true, "index/N=3"}}) {
+    auto engine = MakeSelector(MakeOptions(kind, shards, use_index));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engines.push_back(Engine{label, std::move(*engine)});
+  }
+
+  for (int t = 0; t < kInitialTenants; ++t) {
+    for (Engine& e : engines) {
+      auto id = e.selector->AddTenantWithDefaultPrior(kModels,
+                                                      Costs(t, kModels));
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(*id, t) << e.label;
+    }
+  }
+
+  // Outstanding and closed tickets are tracked once: the conformance
+  // assertions below guarantee every engine issued identical assignments.
+  Rng rng(20260730u + static_cast<uint64_t>(kind));
+  std::vector<Assignment> outstanding;
+  std::vector<Assignment> closed;
+  int added = kInitialTenants;
+
+  auto check_same_status = [&](const char* op, int event, const Status& ref,
+                               const Status& got, const Engine& e) {
+    ASSERT_EQ(static_cast<int>(ref.code()), static_cast<int>(got.code()))
+        << e.label << ": " << op << " status diverged at event " << event
+        << ": reference " << ref.ToString() << " vs " << got.ToString();
+  };
+
+  for (int event = 0; event < kEvents; ++event) {
+    int dice = rng.UniformInt(0, 99);
+    // Completion-shaped events degrade to Next when nothing is in flight
+    // (keeps the event budget honest instead of skipping).
+    if (outstanding.empty() && dice >= 40 && dice < 80) dice = 0;
+    if (closed.empty() && dice >= 80 && dice < 86) dice = 0;
+
+    if (dice < 40) {  // Next on every engine; identical assignment or code
+      auto ref = engines[0].selector->Next();
+      for (size_t i = 1; i < engines.size(); ++i) {
+        auto got = engines[i].selector->Next();
+        ASSERT_EQ(ref.ok(), got.ok())
+            << engines[i].label << ": Next ok-ness diverged at event "
+            << event << " ("
+            << (ref.ok() ? "issued" : ref.status().ToString()) << " vs "
+            << (got.ok() ? "issued" : got.status().ToString()) << ")";
+        if (ref.ok()) {
+          ASSERT_EQ(ref->tenant, got->tenant)
+              << engines[i].label << " at event " << event;
+          ASSERT_EQ(ref->model, got->model)
+              << engines[i].label << " at event " << event;
+          ASSERT_EQ(ref->id, got->id)
+              << engines[i].label << " at event " << event;
+        } else {
+          check_same_status("Next", event, ref.status(), got.status(),
+                            engines[i]);
+        }
+      }
+      if (ref.ok()) outstanding.push_back(*ref);
+    } else if (dice < 70) {  // Report a random outstanding completion
+      const int pick =
+          rng.UniformInt(0, static_cast<int>(outstanding.size()) - 1);
+      const Assignment a = outstanding[pick];
+      outstanding.erase(outstanding.begin() + pick);
+      const double accuracy = Accuracy(a.tenant, a.model);
+      const Status ref = engines[0].selector->Report(a, accuracy);
+      for (size_t i = 1; i < engines.size(); ++i) {
+        check_same_status("Report", event, ref,
+                          engines[i].selector->Report(a, accuracy),
+                          engines[i]);
+      }
+      closed.push_back(a);
+    } else if (dice < 80) {  // Cancel a random outstanding ticket
+      const int pick =
+          rng.UniformInt(0, static_cast<int>(outstanding.size()) - 1);
+      const Assignment a = outstanding[pick];
+      outstanding.erase(outstanding.begin() + pick);
+      const Status ref = engines[0].selector->Cancel(a);
+      for (size_t i = 1; i < engines.size(); ++i) {
+        check_same_status("Cancel", event, ref,
+                          engines[i].selector->Cancel(a), engines[i]);
+      }
+      closed.push_back(a);
+    } else if (dice < 86) {  // Stale/forged replays: refusal taxonomy
+      const int pick = rng.UniformInt(0, static_cast<int>(closed.size()) - 1);
+      Assignment a = closed[pick];
+      if (rng.UniformInt(0, 2) == 0) a.id += 1000000;  // never issued
+      const Status ref = engines[0].selector->Report(a, 0.5);
+      for (size_t i = 1; i < engines.size(); ++i) {
+        check_same_status("stale Report", event, ref,
+                          engines[i].selector->Report(a, 0.5), engines[i]);
+      }
+    } else if (dice < 94) {  // AddTenant (same shape everywhere)
+      const std::vector<double> costs = Costs(added, kModels);
+      Result<int> ref = engines[0].selector->AddTenantWithDefaultPrior(
+          kModels, costs);
+      ASSERT_TRUE(ref.ok());
+      for (size_t i = 1; i < engines.size(); ++i) {
+        auto id = engines[i].selector->AddTenantWithDefaultPrior(kModels,
+                                                                 costs);
+        ASSERT_TRUE(id.ok()) << engines[i].label;
+        ASSERT_EQ(*ref, *id) << engines[i].label << " at event " << event;
+      }
+      ++added;
+    } else {  // RemoveTenant: valid ids, in-flight refusals, out-of-range
+      const int victim = rng.UniformInt(0, added + 1);
+      const Status ref = engines[0].selector->RemoveTenant(victim);
+      for (size_t i = 1; i < engines.size(); ++i) {
+        check_same_status("RemoveTenant", event, ref,
+                          engines[i].selector->RemoveTenant(victim),
+                          engines[i]);
+      }
+    }
+
+    if (event % 512 == 511) {
+      for (const Engine& e : engines) {
+        const Status valid = e.selector->ValidateIndex();
+        ASSERT_TRUE(valid.ok()) << e.label << " at event " << event << ": "
+                                << valid.ToString();
+      }
+    }
+  }
+
+  // Final cross-engine state audit over every tenant ever registered.
+  const int tenants = engines[0].selector->num_tenants();
+  for (const Engine& e : engines) {
+    ASSERT_EQ(e.selector->num_tenants(), tenants) << e.label;
+    const Status valid = e.selector->ValidateIndex();
+    EXPECT_TRUE(valid.ok()) << e.label << ": " << valid.ToString();
+  }
+  for (int t = 0; t < tenants; ++t) {
+    const auto best = engines[0].selector->BestModel(t);
+    const auto rounds = engines[0].selector->RoundsServed(t);
+    for (size_t i = 1; i < engines.size(); ++i) {
+      const auto got_best = engines[i].selector->BestModel(t);
+      const auto got_rounds = engines[i].selector->RoundsServed(t);
+      ASSERT_EQ(best.ok(), got_best.ok()) << engines[i].label;
+      if (best.ok()) {
+        EXPECT_EQ(*best, *got_best) << engines[i].label << " tenant " << t;
+      }
+      ASSERT_TRUE(got_rounds.ok());
+      EXPECT_EQ(*rounds, *got_rounds) << engines[i].label << " tenant " << t;
+    }
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<SchedulerKind>& info) {
+  std::string name = core::SchedulerKindName(info.param);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, IndexFuzzConformanceTest,
+                         ::testing::ValuesIn(kAllKinds), ParamName);
+
+}  // namespace
+}  // namespace easeml::shard

@@ -1,6 +1,7 @@
 /// Conformance suite for the sharded selector engine: for every scheduler
-/// policy and shard count N in {1, 2, 4, 7}, a full campaign driven through
-/// `ShardedMultiTenantSelector` must replay the UNSHARDED
+/// policy, shard count N in {1, 2, 4, 7} and candidate-index mode (scan vs
+/// index-backed picks), a full campaign driven through
+/// `ShardedMultiTenantSelector` must replay the UNSHARDED, scan-backed
 /// `MultiTenantSelector` bit-identically — same (tenant, model, ticket)
 /// trace from `Next()`, same refusal statuses, same final per-tenant state —
 /// including under multi-device operation and tenant churn
@@ -138,13 +139,15 @@ std::vector<Event> Drive(MultiTenantSelector* selector, int tenants,
   return trace;
 }
 
-SelectorOptions MakeOptions(SchedulerKind kind, int devices, int shards) {
+SelectorOptions MakeOptions(SchedulerKind kind, int devices, int shards,
+                            bool use_index = false) {
   SelectorOptions options;
   options.scheduler = kind;
   options.hybrid_patience = 3;  // small enough to exercise the freeze switch
   options.seed = 7;
   options.num_devices = devices;
   options.num_shards = shards;
+  options.use_candidate_index = use_index;
   return options;
 }
 
@@ -175,14 +178,19 @@ TEST_P(ShardedConformanceTest, ReplaysUnshardedBitIdentically) {
       Drive(&sequential.value(), kTenants, kModels, /*churn=*/false);
 
   for (int shards : {1, 2, 4, 7}) {
-    auto engine = MakeSelector(MakeOptions(kind, devices, shards));
-    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-    const std::vector<Event> trace =
-        Drive(engine->get(), kTenants, kModels, /*churn=*/false);
-    ExpectSameTrace(reference, trace,
-                    core::SchedulerKindName(kind) + "/D=" +
-                        std::to_string(devices) + "/N=" +
-                        std::to_string(shards));
+    for (bool use_index : {false, true}) {
+      auto engine =
+          MakeSelector(MakeOptions(kind, devices, shards, use_index));
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      const std::vector<Event> trace =
+          Drive(engine->get(), kTenants, kModels, /*churn=*/false);
+      ExpectSameTrace(reference, trace,
+                      core::SchedulerKindName(kind) + "/D=" +
+                          std::to_string(devices) + "/N=" +
+                          std::to_string(shards) +
+                          (use_index ? "/index" : "/scan"));
+      EXPECT_TRUE((*engine)->ValidateIndex().ok());
+    }
   }
 }
 
@@ -198,15 +206,24 @@ TEST_P(ShardedConformanceTest, ReplaysUnshardedUnderTenantChurn) {
   const std::vector<Event> reference =
       Drive(&sequential.value(), kTenants, kModels, /*churn=*/true);
 
-  for (int shards : {2, 4, 7}) {
-    auto engine = MakeSelector(MakeOptions(kind, devices, shards));
-    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-    const std::vector<Event> trace =
-        Drive(engine->get(), kTenants, kModels, /*churn=*/true);
-    ExpectSameTrace(reference, trace,
-                    core::SchedulerKindName(kind) + "/churn/D=" +
-                        std::to_string(devices) + "/N=" +
-                        std::to_string(shards));
+  for (int shards : {1, 2, 4, 7}) {
+    for (bool use_index : {false, true}) {
+      if (shards == 1 && !use_index) continue;  // that IS the reference
+      auto engine =
+          MakeSelector(MakeOptions(kind, devices, shards, use_index));
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      const std::vector<Event> trace =
+          Drive(engine->get(), kTenants, kModels, /*churn=*/true);
+      ExpectSameTrace(reference, trace,
+                      core::SchedulerKindName(kind) + "/churn/D=" +
+                          std::to_string(devices) + "/N=" +
+                          std::to_string(shards) +
+                          (use_index ? "/index" : "/scan"));
+      // Churn is where placement and leaves could desynchronize: the
+      // rebuilt index must replay every aggregate from scratch cleanly.
+      const Status valid = (*engine)->ValidateIndex();
+      EXPECT_TRUE(valid.ok()) << valid.ToString();
+    }
   }
 }
 

@@ -26,7 +26,11 @@ using core::SchedulerKind;
 using core::SelectorOptions;
 using Assignment = MultiTenantSelector::Assignment;
 
-TEST(ShardedStressTest, ConcurrentNextReportCancelRemove) {
+/// Shared battery body; `use_index` flips the selector onto the
+/// index-backed pick path so the same races cover the tournament trees,
+/// with the churn thread interleaving debug ValidateIndex() sweeps (the
+/// rebalance-consistency invariant of the churn satellite).
+void RunConcurrentChurnBattery(bool use_index) {
   constexpr int kShards = 4;
   constexpr int kInitialTenants = 24;
   constexpr int kModels = 6;
@@ -39,6 +43,7 @@ TEST(ShardedStressTest, ConcurrentNextReportCancelRemove) {
   options.hybrid_patience = 3;
   options.num_devices = kDevices;
   options.num_shards = kShards;
+  options.use_candidate_index = use_index;
   auto created = ShardedMultiTenantSelector::Create(options);
   ASSERT_TRUE(created.ok());
   ShardedMultiTenantSelector* selector = created->get();
@@ -118,6 +123,15 @@ TEST(ShardedStressTest, ConcurrentNextReportCancelRemove) {
         ADD_FAILURE() << "RemoveTenant: " << st.ToString();
         failed = true;
       }
+      if (use_index && rng.UniformInt(0, 15) == 0) {
+        // Raced against live Next/Report/Cancel traffic: the invariant
+        // check locks the engine, so it sees a quiescent, fresh index.
+        const Status valid = selector->ValidateIndex();
+        if (!valid.ok()) {
+          ADD_FAILURE() << "ValidateIndex: " << valid.ToString();
+          failed = true;
+        }
+      }
       if (added < 8 && rng.UniformInt(0, 2) == 0) {
         // Also hammers the process-wide default-prior cache concurrently.
         auto id = selector->AddTenantWithDefaultPrior(
@@ -156,6 +170,16 @@ TEST(ShardedStressTest, ConcurrentNextReportCancelRemove) {
     EXPECT_LT(*acc, 1.0);
   }
   EXPECT_EQ(rounds, reported.load());
+  const Status valid = selector->ValidateIndex();
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(ShardedStressTest, ConcurrentNextReportCancelRemove) {
+  RunConcurrentChurnBattery(/*use_index=*/false);
+}
+
+TEST(ShardedStressTest, ConcurrentNextReportCancelRemoveIndexed) {
+  RunConcurrentChurnBattery(/*use_index=*/true);
 }
 
 /// Concurrent selector CONSTRUCTION against the process-wide default-prior
