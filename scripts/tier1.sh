@@ -12,14 +12,77 @@
 #             sharded selector engine (the shard conformance suite plus the
 #             concurrent Next/Report/Cancel/RemoveTenant churn battery in
 #             tests/shard/ run under every preset via ctest)
+#     lint  — static-analysis leg: builds tools/easeml_lint and runs it
+#             over src/ (determinism & lock-discipline rules), then — when
+#             the pinned Clang major (or any newer clang) is installed —
+#             rebuilds the tree with -Wthread-safety -Wthread-safety-beta
+#             promoted to errors, and runs clang-tidy over src/ with the
+#             committed .clang-tidy. The Clang stages skip with a notice
+#             when no clang is on PATH (the stock container is GCC-only);
+#             CI installs the pinned major so they always run there.
 #   Non-default configs use their own build directory (build-<config>) so
 #   the configurations never clobber each other.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The Clang major the -Wthread-safety and clang-tidy stages are pinned to
+# (the version CI installs); any clang >= this also works locally.
+EASEML_CLANG_MAJOR="${EASEML_CLANG_MAJOR:-18}"
+
 CONFIG="${1:-RelWithDebInfo}"
 BUILD_DIR="build"
 CMAKE_ARGS=()
+
+if [[ "${CONFIG}" == "lint" ]]; then
+  BUILD_DIR="build-lint"
+
+  echo "== easeml_lint: determinism & lock-discipline rules over src/"
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DEASEML_BUILD_TESTS=OFF -DEASEML_BUILD_BENCH=OFF \
+        -DEASEML_BUILD_EXAMPLES=OFF
+  cmake --build "${BUILD_DIR}" -j --target easeml_lint
+  "${BUILD_DIR}/tools/easeml_lint" src/
+
+  # Locate the pinned clang (clang-18 first, then a new-enough plain clang).
+  CLANG_CXX=""
+  if command -v "clang++-${EASEML_CLANG_MAJOR}" >/dev/null 2>&1; then
+    CLANG_CXX="clang++-${EASEML_CLANG_MAJOR}"
+  elif command -v clang++ >/dev/null 2>&1; then
+    FOUND_MAJOR="$(clang++ -dumpversion | cut -d. -f1)"
+    if [[ "${FOUND_MAJOR}" -ge "${EASEML_CLANG_MAJOR}" ]]; then
+      CLANG_CXX="clang++"
+    fi
+  fi
+
+  if [[ -n "${CLANG_CXX}" ]]; then
+    echo "== clang thread-safety analysis (-Wthread-safety*, as errors)"
+    cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_CXX_COMPILER="${CLANG_CXX}" \
+          -DEASEML_BUILD_BENCH=OFF -DEASEML_BUILD_EXAMPLES=OFF
+    cmake --build build-tsa -j
+  else
+    echo "NOTICE: clang++-${EASEML_CLANG_MAJOR} (or newer) not found;" \
+         "skipping the -Wthread-safety build. The annotations compile to" \
+         "no-ops under GCC; CI runs this stage with the pinned clang."
+  fi
+
+  TIDY_BIN=""
+  if command -v "clang-tidy-${EASEML_CLANG_MAJOR}" >/dev/null 2>&1; then
+    TIDY_BIN="clang-tidy-${EASEML_CLANG_MAJOR}"
+  elif command -v clang-tidy >/dev/null 2>&1; then
+    TIDY_BIN="clang-tidy"
+  fi
+  if [[ -n "${TIDY_BIN}" && -n "${CLANG_CXX}" ]]; then
+    echo "== clang-tidy over src/ (.clang-tidy config)"
+    find src -name '*.cc' -print0 | sort -z | \
+      xargs -0 "${TIDY_BIN}" -p build-tsa --warnings-as-errors='*'
+  else
+    echo "NOTICE: clang-tidy-${EASEML_CLANG_MAJOR} not found; skipping" \
+         "the tidy stage (CI runs it with the pinned clang)."
+  fi
+  exit 0
+fi
+
 case "${CONFIG}" in
   asan)
     BUILD_DIR="build-asan"

@@ -1,0 +1,159 @@
+#ifndef EASEML_COMMON_THREAD_ANNOTATIONS_H_
+#define EASEML_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang Thread Safety Analysis annotations + the annotated locking
+/// vocabulary of this codebase.
+///
+/// Every mutex-bearing subsystem declares WHICH fields its mutex guards
+/// (`EASEML_GUARDED_BY`) and WHICH private methods run with the capability
+/// already held (`EASEML_REQUIRES`), so lock discipline is machine-checked
+/// at compile time under Clang (`-Wthread-safety -Wthread-safety-beta
+/// -Werror`; GCC compiles the macros away). The dynamic batteries (TSan,
+/// fuzz conformance) remain the behavioral net; the static analysis is the
+/// reviewer-independent proof that no code path touches guarded state
+/// without its lock.
+///
+/// Conventions (enforced by tools/easeml_lint, rule `raw-sync` /
+/// `unguarded-mutex`):
+///   - Never declare `std::mutex` / `std::condition_variable` /
+///     `std::lock_guard` / `std::unique_lock` outside this header; use
+///     `easeml::Mutex`, `easeml::MutexLock`, `easeml::CondVar`.
+///   - Every class declaring a `Mutex` member must carry at least one
+///     `EASEML_GUARDED_BY` field annotation.
+///   - `EASEML_NO_THREAD_SAFETY_ANALYSIS` escapes need a one-line
+///     justification comment at the use site.
+///   - Condition waits are explicit while-loops over guarded predicates
+///     (`while (!pred) cv.Wait(lock);`), never predicate lambdas: the
+///     analysis sees the guarded reads in the enclosing scope where the
+///     capability is provably held.
+
+#if defined(__clang__)
+#define EASEML_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define EASEML_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability ("mutex") the analysis tracks.
+#define EASEML_CAPABILITY(x) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define EASEML_SCOPED_CAPABILITY \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define EASEML_GUARDED_BY(x) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x`.
+#define EASEML_PT_GUARDED_BY(x) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function annotation: callers must hold the given capabilities.
+#define EASEML_REQUIRES(...) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the given capabilities (held on return).
+#define EASEML_ACQUIRE(...) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the given capabilities.
+#define EASEML_RELEASE(...) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value
+/// equals the first argument.
+#define EASEML_TRY_ACQUIRE(...) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: callers must NOT hold the given capabilities
+/// (documents non-reentrancy; catches self-deadlock at compile time).
+#define EASEML_EXCLUDES(...) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: the function returns a reference to `x`'s
+/// capability.
+#define EASEML_RETURN_CAPABILITY(x) \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch. Every use MUST carry a one-line justification comment.
+#define EASEML_NO_THREAD_SAFETY_ANALYSIS \
+  EASEML_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace easeml {
+
+/// `std::mutex` wrapper carrying the "mutex" capability, so the analysis
+/// can track which fields it guards and which methods require it. Same
+/// cost as the raw mutex (the wrapper is a single `std::mutex` member and
+/// every method is a trivially inlined forwarder).
+class EASEML_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EASEML_ACQUIRE() { mu_.lock(); }
+  void Unlock() EASEML_RELEASE() { mu_.unlock(); }
+  bool TryLock() EASEML_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over `Mutex` (the `std::lock_guard` of this codebase). The
+/// scoped-capability annotation lets the analysis prove guarded accesses
+/// inside the lock's scope.
+class EASEML_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EASEML_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() EASEML_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Condition variable paired with `Mutex`/`MutexLock`. `Wait` atomically
+/// releases the lock's mutex and reacquires it before returning, exactly
+/// like `std::condition_variable::wait` (which it is: the wrapper adopts
+/// the already-held `std::mutex` for the duration of the wait). Callers
+/// loop explicitly over their guarded predicate:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(lock);      // ready_ GUARDED_BY(mu_): the
+///                                        // analysis sees the read under
+///                                        // the held capability
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Precondition: `lock` holds the mutex the caller's predicate state is
+  /// guarded by. The capability is held again when Wait returns (the
+  /// analysis treats the temporary release as internal to the wait, the
+  /// same fiction `std::condition_variable` callers already live by).
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership returns to `lock`'s scope
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace easeml
+
+#endif  // EASEML_COMMON_THREAD_ANNOTATIONS_H_

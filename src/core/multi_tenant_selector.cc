@@ -1,9 +1,9 @@
 #include "core/multi_tenant_selector.h"
 
 #include <cmath>
-#include <mutex>
 
 #include "bandit/gp_ucb.h"
+#include "common/thread_annotations.h"
 #include "scheduler/fcfs.h"
 #include "scheduler/greedy.h"
 #include "scheduler/hybrid.h"
@@ -148,19 +148,22 @@ namespace {
 /// Process-wide default-prior cache, one prior per (K, noise variance).
 /// Mutex-guarded because concurrent shard setup reaches it; weak_ptr
 /// entries let a prior die with its last tenant instead of pinning the
-/// Gram matrix forever. Leaked intentionally: worker threads may still
-/// touch it during static destruction.
+/// Gram matrix forever. The mutex lives in the same struct as the map it
+/// guards so the guarded-by relation is expressible (and compile-checked)
+/// instead of being a comment between two function-local statics.
 using DefaultPriorCache =
     std::map<std::pair<int, double>, std::weak_ptr<const gp::SharedGpPrior>>;
 
-std::mutex& DefaultPriorCacheMutex() {
-  static std::mutex* mu = new std::mutex;
-  return *mu;
-}
+struct DefaultPriorCacheState {
+  Mutex mu;
+  DefaultPriorCache cache EASEML_GUARDED_BY(mu);
+};
 
-DefaultPriorCache& GetDefaultPriorCache() {
-  static auto* cache = new DefaultPriorCache;
-  return *cache;
+/// Leaked intentionally: worker threads may still touch the cache during
+/// static destruction.
+DefaultPriorCacheState& GetDefaultPriorCacheState() {
+  static auto* state = new DefaultPriorCacheState;
+  return *state;
 }
 
 /// Erases every dead weak_ptr. Called under the cache mutex on EVERY
@@ -168,10 +171,11 @@ DefaultPriorCache& GetDefaultPriorCache() {
 /// tenant churn retires (K, noise) shapes never accumulates dead entries
 /// while serving cache hits for the shapes that stay live. O(live + dead)
 /// per call against a map bounded by the distinct shapes in use.
-void PruneExpiredDefaultPriors(DefaultPriorCache& cache) {
-  for (auto it = cache.begin(); it != cache.end();) {
+void PruneExpiredDefaultPriors(DefaultPriorCacheState& state)
+    EASEML_REQUIRES(state.mu) {
+  for (auto it = state.cache.begin(); it != state.cache.end();) {
     if (it->second.expired()) {
-      it = cache.erase(it);
+      it = state.cache.erase(it);
     } else {
       ++it;
     }
@@ -183,8 +187,9 @@ void PruneExpiredDefaultPriors(DefaultPriorCache& cache) {
 int DefaultPriorCacheSizeForTesting() {
   // Deliberately does NOT prune: the regression test observes that the
   // serving path's lookups do.
-  std::lock_guard<std::mutex> lock(DefaultPriorCacheMutex());
-  return static_cast<int>(GetDefaultPriorCache().size());
+  DefaultPriorCacheState& state = GetDefaultPriorCacheState();
+  MutexLock lock(state.mu);
+  return static_cast<int>(state.cache.size());
 }
 
 Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
@@ -199,17 +204,17 @@ Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
   }
   std::shared_ptr<const gp::SharedGpPrior> prior;
   {
-    std::lock_guard<std::mutex> lock(DefaultPriorCacheMutex());
-    DefaultPriorCache& cache = GetDefaultPriorCache();
-    PruneExpiredDefaultPriors(cache);
+    DefaultPriorCacheState& state = GetDefaultPriorCacheState();
+    MutexLock lock(state.mu);
+    PruneExpiredDefaultPriors(state);
     std::weak_ptr<const gp::SharedGpPrior>& slot =
-        cache[{num_models, noise_variance}];
+        state.cache[{num_models, noise_variance}];
     prior = slot.lock();
     if (prior == nullptr) {
       EASEML_ASSIGN_OR_RETURN(
           prior, gp::MakeSharedGpPrior(linalg::Matrix::Identity(num_models),
                                        noise_variance));
-      cache[{num_models, noise_variance}] = prior;
+      state.cache[{num_models, noise_variance}] = prior;
     }
   }
   // Qualified call: the engine's public override already holds its lock

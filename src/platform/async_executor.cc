@@ -23,14 +23,20 @@ Result<std::unique_ptr<AsyncTrainingExecutor>> AsyncTrainingExecutor::Create(
         "AsyncTrainingExecutor: seconds_per_cost_unit must be finite and "
         ">= 0");
   }
-  // Not make_unique: the constructor is private. Threads start only after
-  // the object is fully constructed so WorkerLoop never sees a torn state.
+  // Not make_unique: the constructor is private. The worker handles are
+  // written under the lock (they are mu_-guarded state claimed by
+  // Shutdown); a freshly started worker's first act is to lock mu_ in
+  // WorkerLoop, so it simply blocks until the handle vector is complete
+  // and never sees a torn state.
   std::unique_ptr<AsyncTrainingExecutor> pool(
       new AsyncTrainingExecutor(options));
-  pool->workers_.reserve(static_cast<size_t>(options.num_workers));
-  for (int w = 0; w < options.num_workers; ++w) {
-    pool->workers_.emplace_back(
-        [raw = pool.get(), w]() { raw->WorkerLoop(w); });
+  {
+    MutexLock lock(pool->mu_);
+    pool->workers_.reserve(static_cast<size_t>(options.num_workers));
+    for (int w = 0; w < options.num_workers; ++w) {
+      pool->workers_.emplace_back(
+          [raw = pool.get(), w]() { raw->WorkerLoop(w); });
+    }
   }
   return pool;
 }
@@ -39,64 +45,73 @@ AsyncTrainingExecutor::~AsyncTrainingExecutor() { Shutdown(); }
 
 Status AsyncTrainingExecutor::Submit(AsyncTrainingJob job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return Status::FailedPrecondition("Submit: executor is shut down");
     }
     jobs_.push_back(std::move(job));
     ++outstanding_;
   }
-  job_ready_.notify_one();
+  job_ready_.NotifyOne();
   return Status::OK();
 }
 
-AsyncTrainingCompletion AsyncTrainingExecutor::ConsumeFront(
-    std::unique_lock<std::mutex>& lock) {
-  AsyncTrainingCompletion done = std::move(completions_.front());
+bool AsyncTrainingExecutor::ConsumeFront(AsyncTrainingCompletion& out) {
+  out = std::move(completions_.front());
   completions_.pop_front();
   --outstanding_;
-  const bool drained = outstanding_ == 0;
-  lock.unlock();
-  // Wake blocked WaitCompletion callers when the pool drains so they can
-  // fail fast instead of waiting for a completion that will never come.
-  if (drained) completion_ready_.notify_all();
-  return done;
+  return outstanding_ == 0;
 }
 
 std::optional<AsyncTrainingCompletion>
 AsyncTrainingExecutor::TryNextCompletion() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (completions_.empty()) return std::nullopt;
-  return ConsumeFront(lock);
+  AsyncTrainingCompletion done;
+  bool drained = false;
+  {
+    MutexLock lock(mu_);
+    if (completions_.empty()) return std::nullopt;
+    drained = ConsumeFront(done);
+  }
+  // Wake blocked WaitCompletion callers when the pool drains so they can
+  // fail fast instead of waiting for a completion that will never come.
+  if (drained) completion_ready_.NotifyAll();
+  return done;
 }
 
 Result<AsyncTrainingCompletion> AsyncTrainingExecutor::WaitCompletion() {
-  std::unique_lock<std::mutex> lock(mu_);
-  completion_ready_.wait(
-      lock, [this] { return !completions_.empty() || outstanding_ == 0; });
-  if (completions_.empty()) {
-    // Nothing outstanding: either nothing was submitted or a concurrent
-    // consumer drained the last completion.
-    return Status::FailedPrecondition(
-        "WaitCompletion: no job outstanding (submit first)");
+  AsyncTrainingCompletion done;
+  bool drained = false;
+  {
+    MutexLock lock(mu_);
+    while (completions_.empty() && outstanding_ != 0) {
+      completion_ready_.Wait(lock);
+    }
+    if (completions_.empty()) {
+      // Nothing outstanding: either nothing was submitted or a concurrent
+      // consumer drained the last completion.
+      return Status::FailedPrecondition(
+          "WaitCompletion: no job outstanding (submit first)");
+    }
+    drained = ConsumeFront(done);
   }
-  return ConsumeFront(lock);
+  if (drained) completion_ready_.NotifyAll();
+  return done;
 }
 
 int AsyncTrainingExecutor::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return outstanding_;
 }
 
 double AsyncTrainingExecutor::SimulatedBusyTime() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double total = 0.0;
   for (double c : worker_clock_) total += c;
   return total;
 }
 
 double AsyncTrainingExecutor::SimulatedMakespan() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double makespan = 0.0;
   for (double c : worker_clock_) makespan = std::max(makespan, c);
   return makespan;
@@ -108,11 +123,11 @@ void AsyncTrainingExecutor::Shutdown() {
   // joins each worker; the others see an empty vector and return.
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
     to_join.swap(workers_);
   }
-  job_ready_.notify_all();
+  job_ready_.NotifyAll();
   for (auto& worker : to_join) {
     if (worker.joinable()) worker.join();
   }
@@ -129,8 +144,8 @@ void AsyncTrainingExecutor::WorkerLoop(int worker_index) {
   while (true) {
     AsyncTrainingJob job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && jobs_.empty()) job_ready_.Wait(lock);
       if (jobs_.empty()) return;  // shutdown with a drained queue
       job = std::move(jobs_.front());
       jobs_.pop_front();
@@ -151,14 +166,14 @@ void AsyncTrainingExecutor::WorkerLoop(int worker_index) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (done.status.ok()) {
         worker_clock_[static_cast<size_t>(worker_index)] +=
             done.outcome.duration;
       }
       completions_.push_back(std::move(done));
     }
-    completion_ready_.notify_one();
+    completion_ready_.NotifyOne();
   }
 }
 

@@ -1,16 +1,15 @@
 #ifndef EASEML_PLATFORM_ASYNC_EXECUTOR_H_
 #define EASEML_PLATFORM_ASYNC_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "platform/model_registry.h"
 #include "platform/normalization.h"
 #include "platform/training_executor.h"
@@ -74,53 +73,61 @@ class AsyncTrainingExecutor {
   AsyncTrainingExecutor& operator=(const AsyncTrainingExecutor&) = delete;
 
   /// Enqueues a job; fails with FailedPrecondition after Shutdown.
-  Status Submit(AsyncTrainingJob job);
+  Status Submit(AsyncTrainingJob job) EASEML_EXCLUDES(mu_);
 
   /// Non-blocking: next finished completion, or nullopt if none is ready.
-  std::optional<AsyncTrainingCompletion> TryNextCompletion();
+  std::optional<AsyncTrainingCompletion> TryNextCompletion()
+      EASEML_EXCLUDES(mu_);
 
   /// Blocks until a completion is available and returns it. Fails with
   /// FailedPrecondition when nothing is outstanding (every submitted job's
   /// completion was already consumed) — the caller's drain loop is done.
-  Result<AsyncTrainingCompletion> WaitCompletion();
+  Result<AsyncTrainingCompletion> WaitCompletion() EASEML_EXCLUDES(mu_);
 
   /// Jobs submitted whose completions have not been consumed yet.
-  int outstanding() const;
+  int outstanding() const EASEML_EXCLUDES(mu_);
 
   /// Configured worker count (immutable after Create).
   int num_workers() const { return options_.num_workers; }
 
   /// Total simulated GPU time of all finished runs (sum over workers).
-  double SimulatedBusyTime() const;
+  double SimulatedBusyTime() const EASEML_EXCLUDES(mu_);
 
   /// Largest per-worker simulated clock — the event-driven makespan proxy
   /// for a perfectly balanced D-device cluster.
-  double SimulatedMakespan() const;
+  double SimulatedMakespan() const EASEML_EXCLUDES(mu_);
 
   /// Stops accepting jobs, drains the queue, joins all workers. Idempotent.
   /// Completions produced while draining remain consumable.
-  void Shutdown();
+  void Shutdown() EASEML_EXCLUDES(mu_);
 
  private:
   explicit AsyncTrainingExecutor(const Options& options);
-  void WorkerLoop(int worker_index);
+  void WorkerLoop(int worker_index) EASEML_EXCLUDES(mu_);
 
-  /// Pops the front completion. Precondition: `lock` holds `mu_` and
-  /// `completions_` is non-empty; unlocks before the drained notification.
-  AsyncTrainingCompletion ConsumeFront(std::unique_lock<std::mutex>& lock);
+  /// Pops the front completion and decrements `outstanding_`.
+  /// Precondition: `completions_` is non-empty. Returns true when the pool
+  /// just drained (outstanding hit 0) — the caller must NotifyAll blocked
+  /// WaitCompletion callers AFTER releasing `mu_` so they can fail fast
+  /// instead of waiting for a completion that will never come.
+  bool ConsumeFront(AsyncTrainingCompletion& out) EASEML_REQUIRES(mu_);
 
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable job_ready_;         // signals workers
-  std::condition_variable completion_ready_;  // signals consumers
-  std::deque<AsyncTrainingJob> jobs_;
-  std::deque<AsyncTrainingCompletion> completions_;
-  std::vector<double> worker_clock_;  // simulated seconds per worker
-  int outstanding_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar job_ready_;         // signals workers
+  CondVar completion_ready_;  // signals consumers
+  std::deque<AsyncTrainingJob> jobs_ EASEML_GUARDED_BY(mu_);
+  std::deque<AsyncTrainingCompletion> completions_ EASEML_GUARDED_BY(mu_);
+  /// Simulated seconds per worker.
+  std::vector<double> worker_clock_ EASEML_GUARDED_BY(mu_);
+  int outstanding_ EASEML_GUARDED_BY(mu_) = 0;
+  bool shutdown_ EASEML_GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> workers_;  // started last, joined in Shutdown
+  /// Started under `mu_` in Create (a worker's first act is to lock `mu_`,
+  /// so the handles are published before any worker runs); claimed by the
+  /// one winning Shutdown caller, which joins outside the lock.
+  std::vector<std::thread> workers_ EASEML_GUARDED_BY(mu_);
 };
 
 }  // namespace easeml::platform

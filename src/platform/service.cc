@@ -29,6 +29,7 @@ Result<int> EaseMlService::SubmitJob(const std::string& program_text,
   if (dynamic_range < 1.0) {
     return Status::InvalidArgument("SubmitJob: dynamic range must be >= 1");
   }
+  MutexLock lock(*mu_);
   JobInfo job;
   EASEML_ASSIGN_OR_RETURN(job.program, ParseProgram(program_text));
   EASEML_ASSIGN_OR_RETURN(TemplateMatch match, MatchTemplates(job.program));
@@ -48,7 +49,7 @@ Result<int> EaseMlService::SubmitJob(const std::string& program_text,
     }
   }
 
-  const int job_id = num_jobs();
+  const int job_id = static_cast<int>(jobs_.size());
   EASEML_ASSIGN_OR_RETURN(job.task_ids,
                           pool_.AddUserTasks(job_id, job.candidates));
 
@@ -70,14 +71,20 @@ Result<int> EaseMlService::SubmitJob(const std::string& program_text,
   return job_id;
 }
 
+int EaseMlService::num_jobs() const {
+  MutexLock lock(*mu_);
+  return static_cast<int>(jobs_.size());
+}
+
 Status EaseMlService::ValidateJob(int job) const {
-  if (job < 0 || job >= num_jobs()) {
+  if (job < 0 || job >= static_cast<int>(jobs_.size())) {
     return Status::OutOfRange("job id out of range: " + std::to_string(job));
   }
   return Status::OK();
 }
 
 Status EaseMlService::Feed(int job, int count) {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(ValidateJob(job));
   if (count <= 0) {
     return Status::InvalidArgument("Feed: count must be positive");
@@ -94,11 +101,13 @@ Status EaseMlService::Feed(int job, int count) {
 }
 
 Result<std::vector<Example>> EaseMlService::ListExamples(int job) const {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(ValidateJob(job));
   return jobs_[job].examples;
 }
 
 Status EaseMlService::Refine(int job, int example_index, bool enabled) {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(ValidateJob(job));
   auto& examples = jobs_[job].examples;
   if (example_index < 0 ||
@@ -119,6 +128,7 @@ double EaseMlService::EffectiveExamples(const JobInfo& job) const {
 }
 
 Result<InferReport> EaseMlService::Infer(int job) const {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(ValidateJob(job));
   EASEML_ASSIGN_OR_RETURN(Task best, pool_.BestForUser(job));
   InferReport report;
@@ -143,6 +153,11 @@ Result<AsyncTrainingJob> EaseMlService::MakeTrainingJob(
 }
 
 Result<Task> EaseMlService::Step() {
+  MutexLock lock(*mu_);
+  return StepLocked();
+}
+
+Result<Task> EaseMlService::StepLocked() {
   EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment assignment,
                           selector_->Next());
   EASEML_ASSIGN_OR_RETURN(AsyncTrainingJob spec, MakeTrainingJob(assignment));
@@ -159,6 +174,7 @@ Result<Task> EaseMlService::Step() {
 
 Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
                                                double seconds_per_cost_unit) {
+  MutexLock lock(*mu_);
   if (selector_->num_in_flight() > 0) {
     return Status::FailedPrecondition(
         "RunAsync: selector already has in-flight assignments");
@@ -246,16 +262,30 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
 
 Result<int> EaseMlService::RunSteps(int n) {
   if (n < 0) return Status::InvalidArgument("RunSteps: negative count");
+  MutexLock lock(*mu_);
   int taken = 0;
-  for (int i = 0; i < n && !Exhausted(); ++i) {
-    EASEML_ASSIGN_OR_RETURN(Task task, Step());
+  for (int i = 0; i < n && !ExhaustedLocked(); ++i) {
+    EASEML_ASSIGN_OR_RETURN(Task task, StepLocked());
     (void)task;
     ++taken;
   }
   return taken;
 }
 
+bool EaseMlService::Exhausted() const {
+  MutexLock lock(*mu_);
+  return ExhaustedLocked();
+}
+
+bool EaseMlService::ExhaustedLocked() const { return selector_->Exhausted(); }
+
+double EaseMlService::ClusterTime() const {
+  MutexLock lock(*mu_);
+  return executor_.clock() + async_cluster_time_;
+}
+
 Result<std::vector<CandidateModel>> EaseMlService::Candidates(int job) const {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(ValidateJob(job));
   return jobs_[job].candidates;
 }

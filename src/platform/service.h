@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/multi_tenant_selector.h"
 #include "platform/async_executor.h"
 #include "platform/dsl_parser.h"
@@ -44,6 +45,15 @@ struct AsyncRunReport {
 /// the feed/refine/infer operators (Figure 3), schema matching and task
 /// generation, and resource allocation via the multi-tenant selector, all
 /// running against the simulated training backend.
+///
+/// Thread-safe: one service-wide mutex serializes the public API (the
+/// operators mutate job state, the service RNG, and — through the
+/// pt-guarded selector pointer — engine state that is single-threaded in
+/// the sequential configuration). Campaign drivers (`Step`, `RunSteps`,
+/// `RunAsync`) hold the lock for their whole run, so operators issued from
+/// other threads observe campaign boundaries, never intermediate states.
+/// Lock ordering: `mu_` may be held while the internally synchronized
+/// `TaskPool`/`AsyncTrainingExecutor` locks are taken, never the reverse.
 class EaseMlService {
  public:
   struct Options {
@@ -66,31 +76,33 @@ class EaseMlService {
   /// than image-like data get normalization candidates, Section 2.1).
   /// Returns the new job (tenant) id.
   Result<int> SubmitJob(const std::string& program_text,
-                        double dynamic_range = 100.0);
+                        double dynamic_range = 100.0) EASEML_EXCLUDES(mu_);
 
-  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  int num_jobs() const EASEML_EXCLUDES(mu_);
 
   /// `feed`: registers `count` new supervision pairs for the job.
-  Status Feed(int job, int count);
+  Status Feed(int job, int count) EASEML_EXCLUDES(mu_);
 
   /// Examples fed so far (the refine UI's list).
-  Result<std::vector<Example>> ListExamples(int job) const;
+  Result<std::vector<Example>> ListExamples(int job) const
+      EASEML_EXCLUDES(mu_);
 
   /// `refine`: enables/disables one example.
-  Status Refine(int job, int example_index, bool enabled);
+  Status Refine(int job, int example_index, bool enabled)
+      EASEML_EXCLUDES(mu_);
 
   /// `infer`: reports the best model so far; NotFound before any model
   /// finished training.
-  Result<InferReport> Infer(int job) const;
+  Result<InferReport> Infer(int job) const EASEML_EXCLUDES(mu_);
 
   /// Runs one resource-allocation step: asks the selector for the next
   /// (tenant, model), trains it on the simulated backend, and feeds the
   /// result back. Returns the finished task. Fails with FailedPrecondition
   /// when all jobs are exhausted.
-  Result<Task> Step();
+  Result<Task> Step() EASEML_EXCLUDES(mu_);
 
   /// Convenience: runs `n` steps or until exhausted; returns steps taken.
-  Result<int> RunSteps(int n);
+  Result<int> RunSteps(int n) EASEML_EXCLUDES(mu_);
 
   /// Runs the asynchronous multi-device selection pipeline to exhaustion:
   /// keeps up to `selector.num_devices` assignments in flight on an
@@ -109,21 +121,24 @@ class EaseMlService {
   /// training run by its simulated duration in real time, making
   /// `wall_seconds` a faithful D-device makespan.
   Result<AsyncRunReport> RunAsync(int num_workers = 0,
-                                  double seconds_per_cost_unit = 0.0);
+                                  double seconds_per_cost_unit = 0.0)
+      EASEML_EXCLUDES(mu_);
 
   /// True when every job has trained all its candidates.
-  bool Exhausted() const { return selector_->Exhausted(); }
+  bool Exhausted() const EASEML_EXCLUDES(mu_);
 
   /// Candidate models generated for a job by template matching (+
   /// normalization expansion).
-  Result<std::vector<CandidateModel>> Candidates(int job) const;
+  Result<std::vector<CandidateModel>> Candidates(int job) const
+      EASEML_EXCLUDES(mu_);
 
-  /// State of one task in the user-level task pool.
+  /// State of one task in the user-level task pool. Served straight from
+  /// the internally synchronized pool — no service lock taken.
   Result<Task> TaskInfo(int task_id) const { return pool_.Get(task_id); }
 
   /// Simulated GPU time consumed so far, across both the sequential
   /// executor and all completed RunAsync campaigns.
-  double ClusterTime() const { return executor_.clock() + async_cluster_time_; }
+  double ClusterTime() const EASEML_EXCLUDES(mu_);
 
  private:
   struct JobInfo {
@@ -143,27 +158,44 @@ class EaseMlService {
         executor_(options.executor),
         rng_(options.seed) {}
 
-  Status ValidateJob(int job) const;
+  Status ValidateJob(int job) const EASEML_REQUIRES(mu_);
+
+  /// One resource-allocation step; `Step` and `RunSteps` share this seam so
+  /// the campaign loop never re-acquires the service lock.
+  Result<Task> StepLocked() EASEML_REQUIRES(mu_);
+
+  bool ExhaustedLocked() const EASEML_REQUIRES(mu_);
 
   /// Resolves a selector assignment into the training request both the
   /// sequential and the asynchronous path execute.
   Result<AsyncTrainingJob> MakeTrainingJob(
-      const core::MultiTenantSelector::Assignment& assignment) const;
+      const core::MultiTenantSelector::Assignment& assignment) const
+      EASEML_REQUIRES(mu_);
 
   /// Effective supervision volume: disabled examples do not count and noisy
-  /// ones count at a discount.
+  /// ones count at a discount. Pure function of its argument.
   double EffectiveExamples(const JobInfo& job) const;
+
+  /// Heap-allocated so the service stays movable (`Create` returns it by
+  /// value); `mu_` is the stable capability the annotations name, and
+  /// default moves keep the pair consistent.
+  std::unique_ptr<Mutex> mu_storage_{std::make_unique<Mutex>()};
+  Mutex* mu_{mu_storage_.get()};
 
   Options options_;
   /// Sequential or sharded engine, per `Options::selector.num_shards`
   /// (built by `shard::MakeSelector`); both speak the same ticketed
-  /// protocol with bit-identical selection traces.
-  std::unique_ptr<core::MultiTenantSelector> selector_;
-  SimulatedTrainingExecutor executor_;
-  Rng rng_;
-  TaskPool pool_;
-  std::vector<JobInfo> jobs_;
-  double async_cluster_time_ = 0.0;  // summed over RunAsync campaigns
+  /// protocol with bit-identical selection traces. The pointer is set once
+  /// in the constructor; the engine state it names is what the service
+  /// lock guards (the sharded engine also carries its own lock, taken
+  /// after `mu_` per the ordering above).
+  std::unique_ptr<core::MultiTenantSelector> selector_
+      EASEML_PT_GUARDED_BY(mu_);
+  SimulatedTrainingExecutor executor_ EASEML_GUARDED_BY(mu_);
+  Rng rng_ EASEML_GUARDED_BY(mu_);
+  TaskPool pool_;  // internally synchronized (see task_pool.h)
+  std::vector<JobInfo> jobs_ EASEML_GUARDED_BY(mu_);
+  double async_cluster_time_ EASEML_GUARDED_BY(mu_) = 0.0;  // over campaigns
 };
 
 }  // namespace easeml::platform

@@ -10,6 +10,7 @@ Result<std::vector<int>> TaskPool::AddUserTasks(
   if (user_id < 0) {
     return Status::InvalidArgument("AddUserTasks: negative user id");
   }
+  MutexLock lock(*mu_);
   std::vector<int> ids;
   ids.reserve(candidates.size());
   for (const auto& c : candidates) {
@@ -23,8 +24,13 @@ Result<std::vector<int>> TaskPool::AddUserTasks(
   return ids;
 }
 
+int TaskPool::num_tasks() const {
+  MutexLock lock(*mu_);
+  return static_cast<int>(tasks_.size());
+}
+
 Status TaskPool::Validate(int task_id) const {
-  if (task_id < 0 || task_id >= num_tasks()) {
+  if (task_id < 0 || task_id >= static_cast<int>(tasks_.size())) {
     return Status::OutOfRange("task id out of range: " +
                               std::to_string(task_id));
   }
@@ -32,11 +38,13 @@ Status TaskPool::Validate(int task_id) const {
 }
 
 Result<Task> TaskPool::Get(int task_id) const {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(Validate(task_id));
   return tasks_[task_id];
 }
 
 Status TaskPool::MarkRunning(int task_id) {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(Validate(task_id));
   if (tasks_[task_id].state != TaskState::kPending) {
     return Status::FailedPrecondition("MarkRunning: task not pending");
@@ -46,6 +54,7 @@ Status TaskPool::MarkRunning(int task_id) {
 }
 
 Status TaskPool::MarkDone(int task_id, double accuracy, double duration) {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(Validate(task_id));
   if (tasks_[task_id].state != TaskState::kRunning) {
     return Status::FailedPrecondition("MarkDone: task not running");
@@ -63,6 +72,7 @@ Status TaskPool::MarkDone(int task_id, double accuracy, double duration) {
 }
 
 Status TaskPool::Requeue(int task_id) {
+  MutexLock lock(*mu_);
   EASEML_RETURN_NOT_OK(Validate(task_id));
   if (tasks_[task_id].state != TaskState::kRunning) {
     return Status::FailedPrecondition("Requeue: task not running");
@@ -72,6 +82,7 @@ Status TaskPool::Requeue(int task_id) {
 }
 
 std::vector<Task> TaskPool::PendingForUser(int user_id) const {
+  MutexLock lock(*mu_);
   std::vector<Task> out;
   for (const auto& t : tasks_) {
     if (t.user_id == user_id && t.state == TaskState::kPending) {
@@ -82,6 +93,7 @@ std::vector<Task> TaskPool::PendingForUser(int user_id) const {
 }
 
 std::vector<Task> TaskPool::TasksForUser(int user_id) const {
+  MutexLock lock(*mu_);
   std::vector<Task> out;
   for (const auto& t : tasks_) {
     if (t.user_id == user_id) out.push_back(t);
@@ -90,6 +102,7 @@ std::vector<Task> TaskPool::TasksForUser(int user_id) const {
 }
 
 Result<Task> TaskPool::BestForUser(int user_id) const {
+  MutexLock lock(*mu_);
   const Task* best = nullptr;
   for (const auto& t : tasks_) {
     if (t.user_id != user_id || t.state != TaskState::kDone) continue;
@@ -103,6 +116,7 @@ Result<Task> TaskPool::BestForUser(int user_id) const {
 }
 
 int TaskPool::CountInState(TaskState state) const {
+  MutexLock lock(*mu_);
   int count = 0;
   for (const auto& t : tasks_) {
     if (t.state == state) ++count;

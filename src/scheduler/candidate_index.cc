@@ -177,6 +177,10 @@ void CandidateIndex::AppendTenant(int shard, const UserState& user) {
 }
 
 void CandidateIndex::Refresh(const UserState& user) {
+  // Callers hold the owning selector's lock, or are the shard's owning
+  // worker inside a barriered fan-out (see the header's external-
+  // synchronization contract); either way this mutation is ordered before
+  // the next pick's root read.
   const int id = user.user_id();
   if (id >= static_cast<int>(keys_.size())) {
     // Tenant added but never synced (callers sync on add; be defensive).

@@ -60,9 +60,20 @@ namespace easeml::scheduler {
 /// with the new shard->tenants lists (cached keys are reused; churn costs
 /// O(T) re-aggregation, no per-tenant O(K) diagnostics reads).
 ///
-/// Not thread-safe as a whole; per-shard trees are touched only by the
-/// shard's owning worker (or the coordinator while workers are quiescent),
-/// under the selector's synchronization.
+/// ## External synchronization
+///
+/// Not thread-safe as a whole, and deliberately mutex-free: the index is
+/// engine state behind the owning selector's annotated lock (the sharded
+/// engine's `mu_`, an `easeml::Mutex` from common/thread_annotations.h).
+/// Because the selector reaches it through an owning pointer, that
+/// guarded-by relation is expressed on the selector side
+/// (`EASEML_PT_GUARDED_BY`-style at the owner), not here — a struct cannot
+/// name a mutex it has never heard of. The worker-side exception mirrors
+/// `ShardPool`'s discipline: a shard's owning worker may `Refresh` leaves
+/// of ITS tree during a barriered fan-out without holding the selector
+/// lock, because the pool's generation barrier orders those writes before
+/// the coordinator's next read. Any new caller must either hold the
+/// owning selector's lock or inherit exclusion from that barrier.
 class CandidateIndex {
  public:
   /// Sentinel for "no tenant": merges below as min-identity, mirroring the

@@ -30,50 +30,53 @@ ShardPool::ShardPool(int num_workers) {
 
 ShardPool::~ShardPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  for (auto& slot : slots_) slot->wake.notify_one();
+  for (auto& slot : slots_) slot->wake.NotifyOne();
   for (auto& worker : workers_) worker.join();
 }
 
 void ShardPool::RunAll(const std::function<void(int)>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fn_ = &fn;
   ++generation_;
   remaining_ = size();
-  for (auto& slot : slots_) slot->wake.notify_one();
-  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  for (auto& slot : slots_) slot->wake.NotifyOne();
+  while (remaining_ != 0) work_done_.Wait(lock);
   fn_ = nullptr;
 }
 
 void ShardPool::RunOn(int worker, const std::function<void()>& fn) {
   EASEML_CHECK(worker >= 0 && worker < size()) << "ShardPool: bad worker";
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slots_[worker]->solo = &fn;
   remaining_ = 1;
-  slots_[worker]->wake.notify_one();
-  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  slots_[worker]->wake.NotifyOne();
+  while (remaining_ != 0) work_done_.Wait(lock);
 }
 
 void ShardPool::WorkerLoop(int worker) {
   Slot& slot = *slots_[worker];
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    slot.wake.wait(lock, [&] {
-      return shutdown_ || slot.solo != nullptr || seen_[worker] != generation_;
-    });
-    const std::function<void()>* solo = slot.solo;
+    const std::function<void()>* solo = nullptr;
     const std::function<void(int)>* all = nullptr;
-    if (solo != nullptr) {
-      slot.solo = nullptr;
-    } else if (seen_[worker] != generation_) {
-      seen_[worker] = generation_;
-      all = fn_;
-    } else {
-      return;  // shutdown with no pending work
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && slot.solo == nullptr &&
+             seen_[worker] == generation_) {
+        slot.wake.Wait(lock);
+      }
+      solo = slot.solo;
+      if (solo != nullptr) {
+        slot.solo = nullptr;
+      } else if (seen_[worker] != generation_) {
+        seen_[worker] = generation_;
+        all = fn_;
+      } else {
+        return;  // shutdown with no pending work
+      }
     }
-    lock.unlock();
 
     const double cpu_before = ThreadCpuSeconds();
     if (solo != nullptr) {
@@ -83,14 +86,16 @@ void ShardPool::WorkerLoop(int worker) {
     }
     const double cpu_after = ThreadCpuSeconds();
 
-    lock.lock();
-    cpu_seconds_[worker] += cpu_after - cpu_before;
-    if (--remaining_ == 0) work_done_.notify_all();
+    {
+      MutexLock lock(mu_);
+      cpu_seconds_[worker] += cpu_after - cpu_before;
+      if (--remaining_ == 0) work_done_.NotifyAll();
+    }
   }
 }
 
 std::vector<double> ShardPool::WorkerCpuSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cpu_seconds_;
 }
 

@@ -72,10 +72,15 @@ Result<int> ShardedMultiTenantSelector::PickTenant(int round) {
     bool any_schedulable = false;
   };
   std::vector<Sweep> parts(pool_.size());
+  // Bind the guarded partition under the coordinator's lock; the worker
+  // closures read through the reference (the barrier orders the accesses —
+  // see LocalTenants' annotation comment).
+  const ShardMap& map = map_;
+  const std::vector<scheduler::UserState>& all_users = users();
   pool_.RunAll([&](int shard) {
     Sweep& part = parts[shard];
-    for (int t : map_.local(shard)) {
-      const scheduler::UserState& u = users()[t];
+    for (int t : map.local(shard)) {
+      const scheduler::UserState& u = all_users[t];
       if (part.first_uninitialized == kNone && u.NeedsInitialObservation()) {
         part.first_uninitialized = t;  // locals ascend: first hit is the min
       }
@@ -116,90 +121,90 @@ Status ShardedMultiTenantSelector::CancelSelectionFor(int tenant, int model) {
 Result<int> ShardedMultiTenantSelector::AddTenant(
     std::shared_ptr<const gp::SharedGpPrior> prior,
     std::vector<double> costs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::AddTenant(std::move(prior),
                                               std::move(costs));
 }
 
 Result<int> ShardedMultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
                                                   std::vector<double> costs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::AddTenant(std::move(belief),
                                               std::move(costs));
 }
 
 Result<int> ShardedMultiTenantSelector::AddTenantWithDefaultPrior(
     int num_models, std::vector<double> costs, double noise_variance) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::AddTenantWithDefaultPrior(
       num_models, std::move(costs), noise_variance);
 }
 
 Status ShardedMultiTenantSelector::RemoveTenant(int tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::RemoveTenant(tenant);
 }
 
 int ShardedMultiTenantSelector::num_tenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::num_tenants();
 }
 
 bool ShardedMultiTenantSelector::Exhausted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::Exhausted();
 }
 
 int ShardedMultiTenantSelector::num_in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::num_in_flight();
 }
 
 bool ShardedMultiTenantSelector::HasDispatchableWork() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::HasDispatchableWork();
 }
 
 Result<core::MultiTenantSelector::Assignment>
 ShardedMultiTenantSelector::Next() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::Next();
 }
 
 Status ShardedMultiTenantSelector::Report(const Assignment& assignment,
                                           double accuracy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::Report(assignment, accuracy);
 }
 
 Status ShardedMultiTenantSelector::Cancel(const Assignment& assignment) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::Cancel(assignment);
 }
 
 Result<core::MultiTenantSelector::Assignment>
 ShardedMultiTenantSelector::InFlightAssignment(int64_t ticket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::InFlightAssignment(ticket);
 }
 
 Result<int> ShardedMultiTenantSelector::BestModel(int tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::BestModel(tenant);
 }
 
 Result<double> ShardedMultiTenantSelector::BestAccuracy(int tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::BestAccuracy(tenant);
 }
 
 Result<int> ShardedMultiTenantSelector::RoundsServed(int tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core::MultiTenantSelector::RoundsServed(tenant);
 }
 
 Status ShardedMultiTenantSelector::ValidateIndex() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const scheduler::CandidateIndex* index = candidate_index();
   if (index == nullptr) return Status::OK();
   // Placement must mirror the shard map exactly (rebalances resync it).
@@ -218,7 +223,7 @@ Status ShardedMultiTenantSelector::ValidateIndex() const {
 }
 
 std::vector<int> ShardedMultiTenantSelector::ShardSizes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int> sizes;
   sizes.reserve(map_.num_shards());
   for (int s = 0; s < map_.num_shards(); ++s) {

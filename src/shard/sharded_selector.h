@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/multi_tenant_selector.h"
 #include "shard/shard_map.h"
 #include "shard/shard_pool.h"
@@ -106,25 +106,35 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
                              int num_shards);
 
   // scheduler::ShardScan — the policies' view of the partition.
-  const std::vector<int>& LocalTenants(int shard) const override {
+  //
+  // REQUIRES(mu_) is the coordinator's view: the scan runs while the
+  // coordinator holds mu_ for the whole barrier, and shard workers inherit
+  // that exclusion (they execute strictly inside a RunAll/RunOn whose
+  // caller holds mu_). Worker-side closures read the partition through a
+  // reference captured under the lock, never through `map_` directly, so
+  // the analysis sees every guarded access in an annotated scope.
+  const std::vector<int>& LocalTenants(int shard) const override
+      EASEML_REQUIRES(mu_) {
     return map_.local(shard);
   }
   void Run(const std::function<void(int)>& fn) override { pool_.RunAll(fn); }
 
   // Engine seams (called with mu_ held by the public overrides).
-  Result<int> PickTenant(int round) override;
-  Result<int> SelectArmFor(int tenant) override;
-  Status RecordOutcomeFor(int tenant, int model, double reward) override;
-  Status CancelSelectionFor(int tenant, int model) override;
+  Result<int> PickTenant(int round) override EASEML_REQUIRES(mu_);
+  Result<int> SelectArmFor(int tenant) override EASEML_REQUIRES(mu_);
+  Status RecordOutcomeFor(int tenant, int model, double reward) override
+      EASEML_REQUIRES(mu_);
+  Status CancelSelectionFor(int tenant, int model) override
+      EASEML_REQUIRES(mu_);
   // Churn re-partitions the shard map (rebalanced within +-1, which may
   // move OTHER tenants between shards); the candidate index mirrors the
   // new placement via SyncIndex. On add, the base engine syncs right after
   // this hook; removal syncs here (the base only neutralizes the leaf).
-  void OnTenantAdded(int tenant) override {
+  void OnTenantAdded(int tenant) override EASEML_REQUIRES(mu_) {
     map_.Add(tenant);
     SyncIndexPlacement();
   }
-  void OnTenantRemoved(int tenant) override {
+  void OnTenantRemoved(int tenant) override EASEML_REQUIRES(mu_) {
     map_.Remove(tenant);
     SyncIndexPlacement();
   }
@@ -134,14 +144,18 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   /// local tenants, so a tenant's leaf refresh runs on its owning worker
   /// (inside the routed seams) and stays shard-local. Cached keys are
   /// reused — churn costs O(T) re-aggregation, not O(T·K) re-reads.
-  void SyncIndexPlacement();
+  void SyncIndexPlacement() EASEML_REQUIRES(mu_);
 
   /// Runs `fn` on `tenant`'s owning shard worker and returns its result.
   template <typename Fn>
-  auto RouteToOwner(int tenant, Fn fn) -> decltype(fn());
+  auto RouteToOwner(int tenant, Fn fn) -> decltype(fn()) EASEML_REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // serializes the ticketed protocol
-  ShardMap map_;
+  /// Serializes the ticketed protocol. Guards the shard map (and, through
+  /// the engine seams it wraps, all base-engine tenant state: users,
+  /// in-flight table, candidate index — owned by the base class and
+  /// therefore not annotatable here). pool_ is internally synchronized.
+  mutable Mutex mu_;
+  ShardMap map_ EASEML_GUARDED_BY(mu_);
   ShardPool pool_;
 };
 

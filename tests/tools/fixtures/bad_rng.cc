@@ -1,0 +1,9 @@
+// Fixture: raw RNG primitives outside common/rng.
+#include <random>
+
+int Draw() {
+  std::mt19937 gen(std::random_device{}());
+  return static_cast<int>(gen());
+}
+
+int LibcDraw() { return rand(); }

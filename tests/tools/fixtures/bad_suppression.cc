@@ -1,0 +1,8 @@
+// Fixture: suppressions that are themselves findings.
+int WithoutReason() {
+  return rand();  // easeml-lint: allow(raw-rng)
+}
+
+int UnknownRule() {
+  return 0;  // easeml-lint: allow(made-up-rule) this rule id does not exist
+}

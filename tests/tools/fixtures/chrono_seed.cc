@@ -1,0 +1,11 @@
+// Fixture: RNG seeded from a clock.
+#include <chrono>
+#include <cstdint>
+
+struct FakeRng {
+  void Seed(uint64_t) {}
+};
+
+void SeedFromClock(FakeRng& rng) {
+  rng.Seed(std::chrono::steady_clock::now().time_since_epoch().count());
+}

@@ -1,0 +1,12 @@
+// Fixture: nothing to report. Mentions of forbidden names inside comments
+// (std::mutex, rand, unordered_map) and strings must be ignored.
+#include <map>
+#include <string>
+
+std::string Describe() { return "rand unordered_map std::mutex"; }
+
+int Sum(const std::map<int, int>& m) {
+  int total = 0;
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}

@@ -1,0 +1,10 @@
+// Fixture: raw standard-library synchronization primitives.
+#include <mutex>
+
+int g_value = 0;
+std::mutex g_mu;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++g_value;
+}

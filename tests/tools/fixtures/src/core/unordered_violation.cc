@@ -1,0 +1,11 @@
+// Fixture: unordered container inside an engine result path.
+#include <string>
+#include <unordered_map>
+
+int CountThings() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}

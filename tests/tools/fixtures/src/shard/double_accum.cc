@@ -1,0 +1,18 @@
+// Fixture: raw floating accumulation inside a merge seam.
+struct Part {
+  double weight = 0.0;
+  int count = 0;
+};
+
+Part MergeParts(Part a, const Part& b) {
+  double weight = a.weight;
+  weight += b.weight;
+  a.weight = weight;
+  a.count += b.count;  // integer accumulation is exact: must NOT flag
+  return a;
+}
+
+double OutsideSeam(double acc, double x) {
+  acc += x;  // not a merge/reduce seam: must NOT flag
+  return acc;
+}

@@ -1,0 +1,12 @@
+// Fixture: every violation carries a valid suppression -> clean file.
+#include <random>
+
+int SameLine() {
+  return rand();  // easeml-lint: allow(raw-rng) fixture exercises same-line suppression
+}
+
+int NextLine() {
+  // easeml-lint: allow(raw-rng) fixture exercises own-line suppression
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,27 @@
+// Fixture: a Mutex member with no EASEML_GUARDED_BY field in the class.
+#ifndef FIXTURE_UNGUARDED_H_
+#define FIXTURE_UNGUARDED_H_
+
+class Mutex {};
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int value_ = 0;
+};
+
+class GuardedCounter {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  int value_ EASEML_GUARDED_BY(mu_) = 0;  // annotated: must NOT flag
+};
+
+#define EASEML_GUARDED_BY(x)
+
+#endif  // FIXTURE_UNGUARDED_H_
