@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "bandit/gp_ucb.h"
+#include "common/logging.h"
 #include "common/thread_annotations.h"
 #include "scheduler/fcfs.h"
 #include "scheduler/greedy.h"
@@ -364,30 +365,66 @@ MultiTenantSelector::FindIssuedEntry(const Assignment& assignment) {
   return it;
 }
 
-Status MultiTenantSelector::Report(const Assignment& assignment,
-                                   double accuracy) {
+Result<MultiTenantSelector::Assignment> MultiTenantSelector::BeginReport(
+    const Assignment& assignment, double accuracy) {
   EASEML_ASSIGN_OR_RETURN(auto it, FindIssuedEntry(assignment));
   if (!std::isfinite(accuracy)) {
     return Status::InvalidArgument("Report: accuracy must be finite");
   }
   const Assignment issued = it->second;
+  // Retiring the ticket here (before the fold) pins the duplicate-report
+  // taxonomy for asynchronous engines: the moment Report returns, a replay
+  // of the same ticket is FailedPrecondition even if the fold is still
+  // queued on the owning shard.
+  in_flight_.erase(it);
+  return issued;
+}
+
+void MultiTenantSelector::FoldReportedOutcome(const Assignment& issued,
+                                              double accuracy) {
   const double before = users_[issued.tenant].best_reward();
-  EASEML_RETURN_NOT_OK(
-      RecordOutcomeFor(issued.tenant, issued.model, accuracy));
+  const Status folded =
+      RecordOutcomeFor(issued.tenant, issued.model, accuracy);
+  EASEML_CHECK(folded.ok()) << "Report: fold of validated ticket "
+                            << issued.id
+                            << " rejected: " << folded.ToString();
   if (accuracy > before || best_model_[issued.tenant] < 0) {
     best_model_[issued.tenant] = issued.model;
   }
-  scheduler_->OnOutcome(users_, issued.tenant);
-  in_flight_.erase(it);
+}
+
+void MultiTenantSelector::FinishReport(int tenant) {
+  scheduler_->OnOutcome(users_, tenant);
   ++round_;
+}
+
+Status MultiTenantSelector::Report(const Assignment& assignment,
+                                   double accuracy) {
+  EASEML_ASSIGN_OR_RETURN(const Assignment issued,
+                          BeginReport(assignment, accuracy));
+  FoldReportedOutcome(issued, accuracy);
+  FinishReport(issued.tenant);
   return Status::OK();
 }
 
-Status MultiTenantSelector::Cancel(const Assignment& assignment) {
+Result<MultiTenantSelector::Assignment> MultiTenantSelector::BeginCancel(
+    const Assignment& assignment) {
   EASEML_ASSIGN_OR_RETURN(auto it, FindIssuedEntry(assignment));
   const Assignment issued = it->second;
-  EASEML_RETURN_NOT_OK(CancelSelectionFor(issued.tenant, issued.model));
   in_flight_.erase(it);
+  return issued;
+}
+
+void MultiTenantSelector::FoldCancel(const Assignment& issued) {
+  const Status cancelled = CancelSelectionFor(issued.tenant, issued.model);
+  EASEML_CHECK(cancelled.ok()) << "Cancel: fold of validated ticket "
+                               << issued.id
+                               << " rejected: " << cancelled.ToString();
+}
+
+Status MultiTenantSelector::Cancel(const Assignment& assignment) {
+  EASEML_ASSIGN_OR_RETURN(const Assignment issued, BeginCancel(assignment));
+  FoldCancel(issued);
   return Status::OK();
 }
 

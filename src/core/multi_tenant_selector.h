@@ -296,6 +296,47 @@ class MultiTenantSelector {
   virtual void OnTenantAdded(int tenant);
   virtual void OnTenantRemoved(int tenant) { (void)tenant; }
 
+  // --- Report pipeline seams ----------------------------------------------
+  //
+  // `Report`/`Cancel` decompose into a COORDINATOR phase (`Begin*`:
+  // validate the ticket against the in-flight table and retire the entry),
+  // a FOLD phase (`Fold*`: the O(t^2) belief append / in-flight un-charge
+  // plus the index-leaf refresh, via the `RecordOutcomeFor` /
+  // `CancelSelectionFor` seams), and for Report a SEQUENCING phase
+  // (`FinishReport`: scheduler OnOutcome + global round advance). The base
+  // engine runs all three inline; the sharded engine runs `Begin*` /
+  // `FinishReport` under its coordinator lock and ships the fold to the
+  // tenant's owning shard worker through a per-shard FIFO report queue, so
+  // completions for tenants on different shards fold concurrently.
+  // Per-tenant fold order equals Begin* order, which keeps the selection
+  // trace bit-identical to the inline pipeline.
+
+  /// Coordinator phase: resolves `assignment` against the in-flight table
+  /// (class-comment taxonomy), validates `accuracy`, and retires the
+  /// ticket. Returns the ISSUED assignment the fold must apply.
+  Result<Assignment> BeginReport(const Assignment& assignment,
+                                 double accuracy);
+
+  /// Fold phase: appends the observation to the tenant's belief and tracks
+  /// the incumbent best model. `issued` must come from `BeginReport` — the
+  /// fold of a validated ticket cannot fail (the arm is charged in flight
+  /// and the tenant cannot be removed under an open ticket), so a rejection
+  /// here aborts.
+  void FoldReportedOutcome(const Assignment& issued, double accuracy);
+
+  /// Sequencing phase: scheduler OnOutcome + round advance. Policies whose
+  /// `ObservesOutcomes()` is true read every tenant's post-fold state here,
+  /// so asynchronous engines must quiesce their fold pipeline first.
+  void FinishReport(int tenant);
+
+  /// Coordinator phase of `Cancel`: same validation and retirement as
+  /// `BeginReport`, without an accuracy.
+  Result<Assignment> BeginCancel(const Assignment& assignment);
+
+  /// Fold phase of `Cancel`: un-charges the arm (it becomes dispatchable
+  /// again). Aborts on rejection — impossible for a validated ticket.
+  void FoldCancel(const Assignment& issued);
+
   // --- Candidate-index plumbing -------------------------------------------
   //
   // The base engine owns the (optional) index; the sharded engine swaps in

@@ -241,9 +241,13 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
       if (first_error.ok()) first_error = done.status;
       continue;
     }
+    // Report first: with a sharded selector the call returns right after
+    // ticket validation (the belief fold is queued on the tenant's owning
+    // shard worker), so the task-pool bookkeeping below overlaps the fold
+    // instead of extending the completion's critical path.
+    EASEML_RETURN_NOT_OK(selector_->Report(a, done.outcome.accuracy));
     EASEML_RETURN_NOT_OK(pool_.MarkDone(task_id, done.outcome.accuracy,
                                         done.outcome.duration));
-    EASEML_RETURN_NOT_OK(selector_->Report(a, done.outcome.accuracy));
     ++report.steps;
   }
   // The successful runs of a failed campaign were Reported and MarkDone'd,

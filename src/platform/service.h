@@ -108,7 +108,11 @@ class EaseMlService {
   /// keeps up to `selector.num_devices` assignments in flight on an
   /// `AsyncTrainingExecutor` worker pool (one worker per device by
   /// default; pass `num_workers > 0` to override), reconciling completions
-  /// in whatever order devices finish. Every task moves through the pool's
+  /// in whatever order devices finish. Completions are handed to the
+  /// selector BEFORE the task-pool bookkeeping: a sharded selector's
+  /// `Report` returns after validating the ticket and enqueuing the belief
+  /// fold on the owning shard worker, so the fold runs concurrently with
+  /// the bookkeeping instead of blocking the dispatch loop. Every task moves through the pool's
   /// kPending -> kRunning -> kDone transitions exactly as in `Step`; a
   /// failed training run requeues its task, returns its selector ticket,
   /// and surfaces the error after the drain with the service in a

@@ -70,10 +70,15 @@ namespace easeml::scheduler {
 /// (`EASEML_PT_GUARDED_BY`-style at the owner), not here — a struct cannot
 /// name a mutex it has never heard of. The worker-side exception mirrors
 /// `ShardPool`'s discipline: a shard's owning worker may `Refresh` leaves
-/// of ITS tree during a barriered fan-out without holding the selector
-/// lock, because the pool's generation barrier orders those writes before
-/// the coordinator's next read. Any new caller must either hold the
-/// owning selector's lock or inherit exclusion from that barrier.
+/// of ITS tree — during a barriered fan-out, a routed solo, or a queued
+/// report fold — without holding the selector lock. The pool's internal
+/// mutex orders those writes before the coordinator's next read (barrier
+/// completion or queue drain), and distinct shards own disjoint trees, so
+/// concurrent folds on different workers never touch the same node; the
+/// cached-key vector is indexed per tenant and never resized worker-side
+/// (churn drains the queues first). Any new caller must either hold the
+/// owning selector's lock or inherit exclusion from the pool the same
+/// way.
 class CandidateIndex {
  public:
   /// Sentinel for "no tenant": merges below as min-identity, mirroring the

@@ -89,6 +89,14 @@ class SchedulerPolicy {
     (void)served_user;
   }
 
+  /// True when OnOutcome actually reads engine state (HYBRID's freeze
+  /// detector scans every tenant's candidate set and best reward). Engines
+  /// that fold outcomes asynchronously must quiesce the fold pipeline
+  /// before sequencing OnOutcome for such a policy — and may sequence it
+  /// immediately, with folds still queued, when this is false (the
+  /// default: OnOutcome is a no-op for the other policies).
+  virtual bool ObservesOutcomes() const { return false; }
+
   /// Whether the algorithm requires the initialization sweep of Algorithm 2
   /// (serve every user once before regular scheduling).
   virtual bool RequiresInitialSweep() const { return false; }

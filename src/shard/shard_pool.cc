@@ -1,6 +1,7 @@
 #include "shard/shard_pool.h"
 
 #include <ctime>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -28,17 +29,23 @@ ShardPool::ShardPool(int num_workers) {
   }
 }
 
-ShardPool::~ShardPool() {
+ShardPool::~ShardPool() { Shutdown(); }
+
+void ShardPool::Shutdown() {
   {
     MutexLock lock(mu_);
+    if (shutdown_) return;  // idempotent (workers already joined/joining)
     shutdown_ = true;
+    for (auto& slot : slots_) slot->wake.NotifyOne();
   }
-  for (auto& slot : slots_) slot->wake.NotifyOne();
+  // Workers drain their queues and any pending solo/barrier work before
+  // exiting, so every accepted task runs-to-completion under Shutdown.
   for (auto& worker : workers_) worker.join();
 }
 
 void ShardPool::RunAll(const std::function<void(int)>& fn) {
   MutexLock lock(mu_);
+  EASEML_CHECK(!shutdown_) << "ShardPool: RunAll after Shutdown";
   fn_ = &fn;
   ++generation_;
   remaining_ = size();
@@ -47,28 +54,56 @@ void ShardPool::RunAll(const std::function<void(int)>& fn) {
   fn_ = nullptr;
 }
 
-void ShardPool::RunOn(int worker, const std::function<void()>& fn) {
+bool ShardPool::RunOn(int worker, const std::function<void()>& fn) {
   EASEML_CHECK(worker >= 0 && worker < size()) << "ShardPool: bad worker";
   MutexLock lock(mu_);
+  if (shutdown_) return false;  // declined: the closure will not run
   slots_[worker]->solo = &fn;
   remaining_ = 1;
   slots_[worker]->wake.NotifyOne();
+  // A concurrent Shutdown() cannot strand the wait: the worker consumes
+  // any pending solo before it exits, and the join happens-after that.
   while (remaining_ != 0) work_done_.Wait(lock);
+  return true;
+}
+
+bool ShardPool::Enqueue(int worker, std::function<void()> fn) {
+  EASEML_CHECK(worker >= 0 && worker < size()) << "ShardPool: bad worker";
+  MutexLock lock(mu_);
+  if (shutdown_) return false;  // declined: the task will not run
+  slots_[worker]->queue.push_back(std::move(fn));
+  ++queued_;
+  slots_[worker]->wake.NotifyOne();
+  return true;
+}
+
+void ShardPool::DrainQueues() const {
+  MutexLock lock(mu_);
+  while (queued_ != 0) queues_drained_.Wait(lock);
 }
 
 void ShardPool::WorkerLoop(int worker) {
   Slot& slot = *slots_[worker];
   for (;;) {
+    std::function<void()> queued;  // owned: the slot entry is consumed
     const std::function<void()>* solo = nullptr;
     const std::function<void(int)>* all = nullptr;
+    bool from_queue = false;
     {
       MutexLock lock(mu_);
-      while (!shutdown_ && slot.solo == nullptr &&
+      while (!shutdown_ && slot.queue.empty() && slot.solo == nullptr &&
              seen_[worker] == generation_) {
         slot.wake.Wait(lock);
       }
-      solo = slot.solo;
-      if (solo != nullptr) {
+      if (!slot.queue.empty()) {
+        // Queue tasks run first and strictly in FIFO order: the per-worker
+        // queue order IS the per-tenant fold order the determinism story
+        // rests on (folds were enqueued under the selector lock).
+        queued = std::move(slot.queue.front());
+        slot.queue.pop_front();
+        from_queue = true;
+      } else if (slot.solo != nullptr) {
+        solo = slot.solo;
         slot.solo = nullptr;
       } else if (seen_[worker] != generation_) {
         seen_[worker] = generation_;
@@ -79,7 +114,9 @@ void ShardPool::WorkerLoop(int worker) {
     }
 
     const double cpu_before = ThreadCpuSeconds();
-    if (solo != nullptr) {
+    if (from_queue) {
+      queued();
+    } else if (solo != nullptr) {
       (*solo)();
     } else {
       (*all)(worker);
@@ -89,7 +126,11 @@ void ShardPool::WorkerLoop(int worker) {
     {
       MutexLock lock(mu_);
       cpu_seconds_[worker] += cpu_after - cpu_before;
-      if (--remaining_ == 0) work_done_.NotifyAll();
+      if (from_queue) {
+        if (--queued_ == 0) queues_drained_.NotifyAll();
+      } else if (--remaining_ == 0) {
+        work_done_.NotifyAll();
+      }
     }
   }
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/reduction_tree.h"
 
 namespace easeml::shard {
@@ -16,7 +18,8 @@ ShardedMultiTenantSelector::ShardedMultiTenantSelector(
     core::MultiTenantSelector&& base, int num_shards)
     : core::MultiTenantSelector(std::move(base)),
       map_(num_shards),
-      pool_(num_shards) {
+      pool_(num_shards),
+      scheduler_observes_outcomes_(scheduler().ObservesOutcomes()) {
   // The base Create built a 1-shard index when the option is on; swap in
   // the N-shard instance before any tenant exists so leaves land on their
   // owning shard's tree from the start.
@@ -39,10 +42,16 @@ auto ShardedMultiTenantSelector::RouteToOwner(int tenant, Fn fn)
     return Status::Internal("shard: tenant " + std::to_string(tenant) +
                             " is not mapped to any shard");
   }
-  decltype(fn()) result =
-      Status::Internal("shard: routed call did not execute");
-  pool_.RunOn(owner, [&] { result = fn(); });
-  return result;
+  // The pool reports whether the closure ran; the result is only read when
+  // it did. (The old pre-seeded "routed call did not execute" sentinel
+  // leaked as an opaque Internal when RunOn declined after shutdown.)
+  std::optional<decltype(fn())> result;
+  if (!pool_.RunOn(owner, [&] { result.emplace(fn()); })) {
+    return Status::FailedPrecondition(
+        "shard: worker pool is shut down; routed call for tenant " +
+        std::to_string(tenant) + " did not execute");
+  }
+  return std::move(*result);
 }
 
 void ShardedMultiTenantSelector::SyncIndexPlacement() {
@@ -105,23 +114,12 @@ Result<int> ShardedMultiTenantSelector::SelectArmFor(int tenant) {
   });
 }
 
-Status ShardedMultiTenantSelector::RecordOutcomeFor(int tenant, int model,
-                                                    double reward) {
-  return RouteToOwner(tenant, [&]() -> Status {
-    return core::MultiTenantSelector::RecordOutcomeFor(tenant, model, reward);
-  });
-}
-
-Status ShardedMultiTenantSelector::CancelSelectionFor(int tenant, int model) {
-  return RouteToOwner(tenant, [&]() -> Status {
-    return core::MultiTenantSelector::CancelSelectionFor(tenant, model);
-  });
-}
-
 Result<int> ShardedMultiTenantSelector::AddTenant(
     std::shared_ptr<const gp::SharedGpPrior> prior,
     std::vector<double> costs) {
   MutexLock lock(mu_);
+  // Churn resizes tenant storage, which queued folds hold references into.
+  DrainFolds();
   return core::MultiTenantSelector::AddTenant(std::move(prior),
                                               std::move(costs));
 }
@@ -129,6 +127,7 @@ Result<int> ShardedMultiTenantSelector::AddTenant(
 Result<int> ShardedMultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
                                                   std::vector<double> costs) {
   MutexLock lock(mu_);
+  DrainFolds();
   return core::MultiTenantSelector::AddTenant(std::move(belief),
                                               std::move(costs));
 }
@@ -136,75 +135,138 @@ Result<int> ShardedMultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
 Result<int> ShardedMultiTenantSelector::AddTenantWithDefaultPrior(
     int num_models, std::vector<double> costs, double noise_variance) {
   MutexLock lock(mu_);
+  DrainFolds();
   return core::MultiTenantSelector::AddTenantWithDefaultPrior(
       num_models, std::move(costs), noise_variance);
 }
 
 Status ShardedMultiTenantSelector::RemoveTenant(int tenant) {
   MutexLock lock(mu_);
+  DrainFolds();
   return core::MultiTenantSelector::RemoveTenant(tenant);
 }
 
 int ShardedMultiTenantSelector::num_tenants() const {
+  // Coordinator-only state (the tenant count changes under mu_ after a
+  // drain): no quiescence needed to read it.
   MutexLock lock(mu_);
   return core::MultiTenantSelector::num_tenants();
 }
 
 bool ShardedMultiTenantSelector::Exhausted() const {
   MutexLock lock(mu_);
+  DrainFolds();  // queued folds advance num_played
   return core::MultiTenantSelector::Exhausted();
 }
 
 int ShardedMultiTenantSelector::num_in_flight() const {
+  // Tickets are retired in the coordinator phase, before the fold is even
+  // enqueued — the in-flight table needs no quiescence.
   MutexLock lock(mu_);
   return core::MultiTenantSelector::num_in_flight();
 }
 
 bool ShardedMultiTenantSelector::HasDispatchableWork() const {
   MutexLock lock(mu_);
+  DrainFolds();  // queued cancel folds re-open arms
   return core::MultiTenantSelector::HasDispatchableWork();
 }
 
 Result<core::MultiTenantSelector::Assignment>
 ShardedMultiTenantSelector::Next() {
   MutexLock lock(mu_);
+  // A pick reads every tenant's post-fold state (policy scans, index
+  // roots), so the pipeline must be quiescent. Holding mu_ keeps it so:
+  // no Report can enqueue another fold until this pick returns.
+  DrainFolds();
   return core::MultiTenantSelector::Next();
 }
 
 Status ShardedMultiTenantSelector::Report(const Assignment& assignment,
                                           double accuracy) {
+  int tenant = -1;
+  {
+    MutexLock lock(mu_);
+    // Coordinator phase: validate + retire the ticket, then hand the fold
+    // to the tenant's owning shard worker. FIFO queue order under mu_ is
+    // the per-tenant fold order — identical to the sequential engine's.
+    EASEML_ASSIGN_OR_RETURN(const Assignment issued,
+                            BeginReport(assignment, accuracy));
+    tenant = issued.tenant;
+    const int owner = map_.shard_of(tenant);
+    EASEML_CHECK(owner >= 0)
+        << "shard: tenant " << tenant << " of live ticket " << issued.id
+        << " is not mapped to any shard";
+    const bool queued = pool_.Enqueue(
+        owner, [this, issued, accuracy] { FoldReportedOutcome(issued, accuracy); });
+    EASEML_CHECK(queued) << "shard: report queue rejected a validated fold "
+                            "(pool shut down under a live selector)";
+    if (!scheduler_observes_outcomes_) {
+      // Stateless-OnOutcome policies: sequence the scheduler now and
+      // return with the fold still queued. Readers quiesce on entry, so
+      // nothing can observe the tenant pre-fold.
+      FinishReport(tenant);
+      return Status::OK();
+    }
+  }
+  // HYBRID's freeze detector reads every tenant's post-fold state. Wait
+  // for the queues outside mu_ first — concurrent reporters keep
+  // validating and enqueuing while the backlog folds — then re-lock and
+  // drain again: with mu_ held no new fold can slip in, so OnOutcome sees
+  // a quiescent engine. The backlog is bounded by num_devices (every fold
+  // stems from an issued ticket), so this converges.
+  pool_.DrainQueues();
   MutexLock lock(mu_);
-  return core::MultiTenantSelector::Report(assignment, accuracy);
+  DrainFolds();
+  FinishReport(tenant);
+  return Status::OK();
 }
 
 Status ShardedMultiTenantSelector::Cancel(const Assignment& assignment) {
   MutexLock lock(mu_);
-  return core::MultiTenantSelector::Cancel(assignment);
+  // Same coordinator/shard split as Report, minus the scheduler sequencing
+  // (a cancel is not an outcome): retire the ticket, queue the un-charge
+  // on the owner, return immediately.
+  EASEML_ASSIGN_OR_RETURN(const Assignment issued, BeginCancel(assignment));
+  const int owner = map_.shard_of(issued.tenant);
+  EASEML_CHECK(owner >= 0)
+      << "shard: tenant " << issued.tenant << " of live ticket " << issued.id
+      << " is not mapped to any shard";
+  const bool queued =
+      pool_.Enqueue(owner, [this, issued] { FoldCancel(issued); });
+  EASEML_CHECK(queued) << "shard: report queue rejected a validated cancel "
+                          "(pool shut down under a live selector)";
+  return Status::OK();
 }
 
 Result<core::MultiTenantSelector::Assignment>
 ShardedMultiTenantSelector::InFlightAssignment(int64_t ticket) const {
+  // Coordinator-only state (tickets are issued/retired under mu_).
   MutexLock lock(mu_);
   return core::MultiTenantSelector::InFlightAssignment(ticket);
 }
 
 Result<int> ShardedMultiTenantSelector::BestModel(int tenant) const {
   MutexLock lock(mu_);
+  DrainFolds();  // the incumbent advances inside the fold
   return core::MultiTenantSelector::BestModel(tenant);
 }
 
 Result<double> ShardedMultiTenantSelector::BestAccuracy(int tenant) const {
   MutexLock lock(mu_);
+  DrainFolds();
   return core::MultiTenantSelector::BestAccuracy(tenant);
 }
 
 Result<int> ShardedMultiTenantSelector::RoundsServed(int tenant) const {
   MutexLock lock(mu_);
+  DrainFolds();
   return core::MultiTenantSelector::RoundsServed(tenant);
 }
 
 Status ShardedMultiTenantSelector::ValidateIndex() const {
   MutexLock lock(mu_);
+  DrainFolds();  // leaf refreshes ride the report queues
   const scheduler::CandidateIndex* index = candidate_index();
   if (index == nullptr) return Status::OK();
   // Placement must mirror the shard map exactly (rebalances resync it).
@@ -233,6 +295,12 @@ std::vector<int> ShardedMultiTenantSelector::ShardSizes() const {
 }
 
 std::vector<double> ShardedMultiTenantSelector::ShardCpuSeconds() const {
+  // Same lock discipline as every other const accessor (this used to be
+  // the one hole in the TSA story): quiesce the fold pipeline under mu_ so
+  // the accounting includes every completion already reported, then read
+  // the internally synchronized pool counters.
+  MutexLock lock(mu_);
+  DrainFolds();
   return pool_.WorkerCpuSeconds();
 }
 

@@ -31,10 +31,30 @@ namespace easeml::shard {
 /// across all five scheduler policies.
 ///
 /// Tenant state stays shard-local: a tenant's arm selection and belief fold
-/// execute on its owning shard's worker (`SelectArmFor` /
-/// `RecordOutcomeFor` routing), and the per-arm in-flight masks live inside
-/// the tenant's `UserState`, so no cross-shard belief synchronization ever
-/// happens — shards only exchange their summaries at the reduction.
+/// execute on its owning shard's worker (`SelectArmFor` routing on the pick
+/// path, the per-shard report queues below on the completion path), and the
+/// per-arm in-flight masks live inside the tenant's `UserState`, so no
+/// cross-shard belief synchronization ever happens — shards only exchange
+/// their summaries at the reduction.
+///
+/// ## Report pipeline (coordinator / shard split)
+///
+/// `Report`/`Cancel` run in two phases. The COORDINATOR phase holds `mu_`:
+/// it validates the ticket against the in-flight table, retires the entry
+/// (duplicate taxonomy is pinned the moment the call returns), and enqueues
+/// the FOLD — the O(t^2) Cholesky append plus the index-leaf refresh — on
+/// the tenant's owning shard worker through `ShardPool::Enqueue`. The
+/// worker drains its queue FIFO, so per-tenant fold order equals the order
+/// the coordinator validated the completions in — exactly the sequential
+/// engine's fold order — while folds for tenants on DIFFERENT shards run
+/// concurrently instead of serializing under the engine lock. For policies
+/// whose `ObservesOutcomes()` is false (everything but HYBRID) the
+/// scheduler is sequenced immediately and `Report` returns with the fold
+/// still in flight; HYBRID's freeze detector reads every tenant, so its
+/// reports drain the queues before `OnOutcome`. Every reader of tenant or
+/// index state (`Next`, accessors, churn) quiesces the same way: it takes
+/// `mu_` — which stops new folds from being enqueued — then drains the
+/// queues, so it always observes a fully folded engine.
 ///
 /// With `SelectorOptions::use_candidate_index` the scan fan-out disappears
 /// entirely: each shard keeps an incremental tournament tree over its
@@ -96,9 +116,12 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   /// the stress battery; OK when the index is disabled.
   Status ValidateIndex() const override;
 
-  /// Cumulative per-shard-worker CPU seconds spent scanning. Max over
-  /// shards tracks the parallel scan's critical path even when the host
-  /// has fewer cores than shards (see ShardPool).
+  /// Cumulative per-shard-worker CPU seconds spent in scan and fold
+  /// closures. Max over shards tracks the parallel critical path even when
+  /// the host has fewer cores than shards (see ShardPool). Locks and
+  /// drains the report queues first, so the numbers include every fold of
+  /// every completion already reported — same quiescence discipline as the
+  /// other const accessors.
   std::vector<double> ShardCpuSeconds() const;
 
  private:
@@ -119,13 +142,14 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   }
   void Run(const std::function<void(int)>& fn) override { pool_.RunAll(fn); }
 
-  // Engine seams (called with mu_ held by the public overrides).
+  // Engine seams (called with mu_ held by the public overrides). The
+  // outcome/cancel fold seams (`RecordOutcomeFor`/`CancelSelectionFor`)
+  // are deliberately NOT overridden: the sharded Report/Cancel overrides
+  // already run the whole fold on the owning worker via the report queue,
+  // so the base implementations execute worker-side — an override that
+  // re-routed through the pool would deadlock the worker on itself.
   Result<int> PickTenant(int round) override EASEML_REQUIRES(mu_);
   Result<int> SelectArmFor(int tenant) override EASEML_REQUIRES(mu_);
-  Status RecordOutcomeFor(int tenant, int model, double reward) override
-      EASEML_REQUIRES(mu_);
-  Status CancelSelectionFor(int tenant, int model) override
-      EASEML_REQUIRES(mu_);
   // Churn re-partitions the shard map (rebalanced within +-1, which may
   // move OTHER tenants between shards); the candidate index mirrors the
   // new placement via SyncIndex. On add, the base engine syncs right after
@@ -146,17 +170,32 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   /// reused — churn costs O(T) re-aggregation, not O(T·K) re-reads.
   void SyncIndexPlacement() EASEML_REQUIRES(mu_);
 
-  /// Runs `fn` on `tenant`'s owning shard worker and returns its result.
+  /// Runs `fn` on `tenant`'s owning shard worker and returns its result;
+  /// a precise FailedPrecondition when the pool declined the closure
+  /// (shut down) — the closure's result is only read when it actually ran.
   template <typename Fn>
   auto RouteToOwner(int tenant, Fn fn) -> decltype(fn()) EASEML_REQUIRES(mu_);
+
+  /// Quiesces the report pipeline: blocks until every queued fold has
+  /// finished. Callers hold `mu_`, so no new fold can be enqueued while
+  /// they proceed — from here to unlock the engine is fully folded. Every
+  /// reader of tenant/index state must call this right after locking.
+  void DrainFolds() const EASEML_REQUIRES(mu_) { pool_.DrainQueues(); }
 
   /// Serializes the ticketed protocol. Guards the shard map (and, through
   /// the engine seams it wraps, all base-engine tenant state: users,
   /// in-flight table, candidate index — owned by the base class and
-  /// therefore not annotatable here). pool_ is internally synchronized.
+  /// therefore not annotatable here). pool_ is internally synchronized;
+  /// queued folds touch only their own tenant's belief and shard-local
+  /// index tree, and every path that reads or resizes tenant state drains
+  /// them first (DrainFolds), so fold writes never race an engine read.
   mutable Mutex mu_;
   ShardMap map_ EASEML_GUARDED_BY(mu_);
   ShardPool pool_;
+  /// Cached scheduler().ObservesOutcomes(): true (HYBRID) forces Report to
+  /// drain the fold queues before sequencing OnOutcome; false lets Report
+  /// return with its fold still queued (fully asynchronous completions).
+  const bool scheduler_observes_outcomes_;
 };
 
 /// Builds the selector engine `options` asks for: the plain sequential
