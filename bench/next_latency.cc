@@ -32,12 +32,12 @@
 ///   NEXT_LATENCY,<tenants>,<engine>,<next_us_mean>,<report_us_mean>
 ///   REPORT_TP,<tenants>,<devices>,<shards>,<reports>,<report_us_mean>,<coord_us_mean>,<wall_us_mean>
 #include <algorithm>
-#include <ctime>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/multi_tenant_selector.h"
@@ -54,11 +54,7 @@ using easeml::core::SelectorOptions;
 constexpr int kModels = 6;
 constexpr int kMeasureSteps = 200;
 
-double ThreadCpuSeconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
-}
+using easeml::ThreadCpuSeconds;
 
 /// Deterministic ground-truth accuracy in (0, 1) via an integer hash.
 double Accuracy(int tenant, int model) {
@@ -121,11 +117,7 @@ Cell RunCampaign(int tenants, bool use_index) {
   return cell;
 }
 
-double WallSeconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_MONOTONIC, &ts);
-  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
-}
+double WallSeconds() { return easeml::MonotonicSeconds(); }
 
 struct TpCell {
   int reports = 0;

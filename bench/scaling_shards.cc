@@ -19,12 +19,12 @@
 /// shard conformance suite pins this), so the sweep measures pure engine
 /// mechanics, never a different schedule.
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/multi_tenant_selector.h"
@@ -83,7 +83,7 @@ RunStats RunCampaign(int tenants, int num_shards) {
 
   RunStats stats;
   std::vector<MultiTenantSelector::Assignment> outstanding;
-  const auto start = std::chrono::steady_clock::now();
+  const double start = easeml::MonotonicSeconds();
   while (true) {
     while (selector->HasDispatchableWork()) {
       auto a = selector->Next();
@@ -97,9 +97,7 @@ RunStats RunCampaign(int tenants, int num_shards) {
     EASEML_CHECK(selector->Report(a, Accuracy(a.tenant, a.model)).ok());
     ++stats.steps;
   }
-  stats.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  stats.wall_seconds = easeml::MonotonicSeconds() - start;
   for (double cpu : selector->ShardCpuSeconds()) {
     stats.max_shard_cpu = std::max(stats.max_shard_cpu, cpu);
     stats.sum_shard_cpu += cpu;

@@ -10,12 +10,12 @@
 /// The dense fleet is instantiated up to a cap (its per-tenant state is
 /// T-independent, so timing and memory extrapolate exactly); the shared
 /// fleet is always instantiated in full.
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "gp/gaussian_process.h"
@@ -71,15 +71,14 @@ RepResult RunDense(const easeml::linalg::Matrix& gram, int tenants, int k) {
     EASEML_CHECK(gp.ok());
     fleet.push_back(std::move(gp).value());
   }
-  const auto start = std::chrono::steady_clock::now();
+  const double start = easeml::MonotonicSeconds();
   for (int s = 0; s < kStepsPerTenant; ++s) {
     for (int i = 0; i < instantiated; ++i) Step(fleet[i], i, s, k);
   }
-  const auto end = std::chrono::steady_clock::now();
+  const double end = easeml::MonotonicSeconds();
   RepResult out;
   out.us_per_step =
-      std::chrono::duration<double, std::micro>(end - start).count() /
-      (static_cast<double>(instantiated) * kStepsPerTenant);
+      (end - start) * 1e6 / (static_cast<double>(instantiated) * kStepsPerTenant);
   out.bytes_per_tenant = static_cast<double>(fleet[0].ApproxMemoryBytes());
   return out;
 }
@@ -94,15 +93,14 @@ RepResult RunShared(const easeml::linalg::Matrix& gram, int tenants, int k) {
     EASEML_CHECK(gp.ok());
     fleet.push_back(std::move(gp).value());
   }
-  const auto start = std::chrono::steady_clock::now();
+  const double start = easeml::MonotonicSeconds();
   for (int s = 0; s < kStepsPerTenant; ++s) {
     for (int i = 0; i < tenants; ++i) Step(fleet[i], i, s, k);
   }
-  const auto end = std::chrono::steady_clock::now();
+  const double end = easeml::MonotonicSeconds();
   RepResult out;
   out.us_per_step =
-      std::chrono::duration<double, std::micro>(end - start).count() /
-      (static_cast<double>(tenants) * kStepsPerTenant);
+      (end - start) * 1e6 / (static_cast<double>(tenants) * kStepsPerTenant);
   double own_bytes = 0.0;
   for (const auto& gp : fleet) {
     own_bytes += static_cast<double>(gp.ApproxMemoryBytes());

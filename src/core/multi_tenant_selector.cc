@@ -1,8 +1,10 @@
 #include "core/multi_tenant_selector.h"
 
 #include <cmath>
+#include <limits>
 
 #include "bandit/gp_ucb.h"
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/thread_annotations.h"
 #include "scheduler/fcfs.h"
@@ -127,6 +129,48 @@ void MultiTenantSelector::OnTenantAdded(int tenant) {
   // New ids are globally maximal, so the 1-shard index extends at the tail
   // in O(log T) — never a rebuild on the add path.
   if (index_ != nullptr) index_->AppendTenant(0, users_[tenant]);
+  if (options_.observer != nullptr) {
+    options_.observer->OnTenantPlaced(tenant, 0);
+    NotifyTenantEvent(tenant);
+  }
+}
+
+TenantObservation MultiTenantSelector::DeriveObservation(int tenant) const {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const scheduler::UserState& u = users_[tenant];
+  TenantObservation o;
+  o.tenant = tenant;
+  o.retired = u.retired();
+  o.rounds_served = u.rounds_served();
+  o.num_models = u.num_models();
+  o.best_model = best_model_[tenant];
+  o.best_reward = u.best_reward();
+  o.bound = kNegInf;
+  o.gap = kNegInf;
+  o.max_ucb = kNegInf;
+  if (o.retired) return o;  // belief released: no policy reads below
+  o.in_flight = u.in_flight_count();
+  o.consumed_cost = u.consumed_cost();
+  o.uninitialized = u.NeedsInitialObservation();
+  o.schedulable = u.Schedulable();
+  if (!o.schedulable) return o;
+  o.bound = u.empirical_bound();
+  // Same derivation discipline as `scheduler::MakeTenantKey`: reuse the
+  // just-refreshed index key when the index tracks gaps (free), otherwise
+  // pay the O(K) batched MaxUcb diagnostics read once per tenant event.
+  if (index_ != nullptr && index_->track_gap()) {
+    o.gap = index_->Key(tenant).gap;
+  } else if (u.policy().HasConfidenceBounds()) {
+    o.gap = u.UcbGap();
+  }
+  if (o.gap > kNegInf) o.max_ucb = o.best_reward + o.gap;
+  return o;
+}
+
+void MultiTenantSelector::NotifyTenantEvent(int tenant) {
+  SelectorObserver* obs = options_.observer;
+  if (obs == nullptr) return;
+  obs->OnTenantEvent(DeriveObservation(tenant));
 }
 
 Result<int> MultiTenantSelector::AddTenant(
@@ -241,6 +285,9 @@ Status MultiTenantSelector::RemoveTenant(int tenant) {
   // Neutralize the leaf before the placement hook: the base engine keeps
   // retired ids placed (neutral), the sharded engine unmaps + resyncs.
   RefreshIndexEntry(tenant);
+  // The retirement event fires while the tenant is still placed; the
+  // sharded placement hook below then drops it from the observer's map.
+  NotifyTenantEvent(tenant);
   OnTenantRemoved(tenant);
   return Status::OK();
 }
@@ -302,6 +349,7 @@ Result<int> MultiTenantSelector::PickTenant(int round) {
 Result<int> MultiTenantSelector::SelectArmFor(int tenant) {
   Result<int> arm = users_[tenant].SelectArm();
   RefreshIndexEntry(tenant);  // in-flight mask changed: key is stale
+  NotifyTenantEvent(tenant);
   return arm;
 }
 
@@ -327,8 +375,25 @@ Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
         "Next: all " + std::to_string(options_.num_devices) +
         " device slots are occupied; report a completion first");
   }
-  EASEML_ASSIGN_OR_RETURN(int tenant, PickTenant(round_ + 1));
-  EASEML_ASSIGN_OR_RETURN(int model, SelectArmFor(tenant));
+  // Timed only when observed: the unobserved serving path reads no clocks.
+  SelectorObserver* obs = options_.observer;
+  double t0 = 0.0;
+  if (obs != nullptr) t0 = ThreadCpuSeconds();
+  Result<int> picked = PickTenant(round_ + 1);
+  double t1 = 0.0;
+  if (obs != nullptr) t1 = ThreadCpuSeconds();
+  if (!picked.ok()) {
+    if (obs != nullptr) obs->OnNext(false, (t1 - t0) * 1e6, 0.0);
+    return picked.status();
+  }
+  const int tenant = *picked;
+  Result<int> selected = SelectArmFor(tenant);
+  if (obs != nullptr) {
+    const double t2 = ThreadCpuSeconds();
+    obs->OnNext(selected.ok(), (t1 - t0) * 1e6, (t2 - t1) * 1e6);
+  }
+  if (!selected.ok()) return selected.status();
+  const int model = *selected;
   Assignment assignment;
   assignment.tenant = tenant;
   assignment.model = model;
@@ -391,6 +456,9 @@ void MultiTenantSelector::FoldReportedOutcome(const Assignment& issued,
   if (accuracy > before || best_model_[issued.tenant] < 0) {
     best_model_[issued.tenant] = issued.model;
   }
+  // After the best-model update, so the observation carries the incumbent
+  // this fold produced (RecordOutcomeFor already refreshed the index leaf).
+  NotifyTenantEvent(issued.tenant);
 }
 
 void MultiTenantSelector::FinishReport(int tenant) {
@@ -400,10 +468,30 @@ void MultiTenantSelector::FinishReport(int tenant) {
 
 Status MultiTenantSelector::Report(const Assignment& assignment,
                                    double accuracy) {
-  EASEML_ASSIGN_OR_RETURN(const Assignment issued,
-                          BeginReport(assignment, accuracy));
-  FoldReportedOutcome(issued, accuracy);
-  FinishReport(issued.tenant);
+  SelectorObserver* obs = options_.observer;
+  if (obs == nullptr) {
+    EASEML_ASSIGN_OR_RETURN(const Assignment issued,
+                            BeginReport(assignment, accuracy));
+    FoldReportedOutcome(issued, accuracy);
+    FinishReport(issued.tenant);
+    return Status::OK();
+  }
+  // Observed path: identical calls, plus the coordinator/fold timing split
+  // (the base engine folds inline, so the split is derived from one pass).
+  const double t0 = ThreadCpuSeconds();
+  Result<Assignment> issued = BeginReport(assignment, accuracy);
+  if (!issued.ok()) {
+    obs->OnTicketRejected(static_cast<int>(issued.status().code()));
+    return issued.status();
+  }
+  const double t1 = ThreadCpuSeconds();
+  obs->OnFoldQueued(0);  // inline fold: queued and executed back-to-back
+  FoldReportedOutcome(*issued, accuracy);
+  const double t2 = ThreadCpuSeconds();
+  FinishReport(issued->tenant);
+  const double t3 = ThreadCpuSeconds();
+  obs->OnFold(0, (t2 - t1) * 1e6);
+  obs->OnReport(((t1 - t0) + (t3 - t2)) * 1e6);
   return Status::OK();
 }
 
@@ -420,11 +508,19 @@ void MultiTenantSelector::FoldCancel(const Assignment& issued) {
   EASEML_CHECK(cancelled.ok()) << "Cancel: fold of validated ticket "
                                << issued.id
                                << " rejected: " << cancelled.ToString();
+  NotifyTenantEvent(issued.tenant);
 }
 
 Status MultiTenantSelector::Cancel(const Assignment& assignment) {
-  EASEML_ASSIGN_OR_RETURN(const Assignment issued, BeginCancel(assignment));
-  FoldCancel(issued);
+  Result<Assignment> issued = BeginCancel(assignment);
+  if (!issued.ok()) {
+    if (options_.observer != nullptr) {
+      options_.observer->OnTicketRejected(
+          static_cast<int>(issued.status().code()));
+    }
+    return issued.status();
+  }
+  FoldCancel(*issued);
   return Status::OK();
 }
 

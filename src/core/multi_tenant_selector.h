@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/selector_observer.h"
 #include "gp/gaussian_process.h"
 #include "gp/shared_prior_gp.h"
 #include "scheduler/candidate_index.h"
@@ -69,6 +70,14 @@ struct SelectorOptions {
   /// maintenance on the report path, which a small-T deployment may
   /// prefer; flip it on when T is large enough that Next() dominates.
   bool use_candidate_index = false;
+
+  /// Observation seam (core/selector_observer.h), or nullptr for none. Not
+  /// owned; must outlive the selector. When set, the engines publish a
+  /// fresh `TenantObservation` at every fold boundary and feed the timing
+  /// hooks — the obs layer's snapshot plane and metrics registry hang off
+  /// this pointer. When null (the default) every hook site is a single
+  /// branch and the serving path is byte-for-byte the unobserved one.
+  SelectorObserver* observer = nullptr;
 };
 
 /// Builds the scheduler policy `options` selects (nullptr for an unknown
@@ -363,6 +372,25 @@ class MultiTenantSelector {
   /// everything in flight): the conformance suite compares Status TEXT
   /// between engines, so every pick path must emit identical strings.
   Status NoDispatchableWorkStatus() const;
+
+  // --- Observation seam ---------------------------------------------------
+  //
+  // `NotifyTenantEvent` fires at exactly the seams that refresh the
+  // candidate-index leaf (selection, fold, cancel, retire): wherever the
+  // index would go stale, so would a dashboard. All of it is skipped in a
+  // single branch when no observer is configured.
+
+  /// The configured observer, or nullptr (the common case).
+  SelectorObserver* observer() const { return options_.observer; }
+
+  /// Publishes `tenant`'s fresh observation to the observer (no-op when
+  /// none). Call AFTER `RefreshIndexEntry` — the gap is read back from the
+  /// just-refreshed index key when the index tracks it.
+  void NotifyTenantEvent(int tenant);
+
+  /// Derives the observation `NotifyTenantEvent` publishes (also used by
+  /// tests to compare a snapshot against live engine state).
+  TenantObservation DeriveObservation(int tenant) const;
 
   const SelectorOptions& options() const { return options_; }
   std::vector<scheduler::UserState>& users() { return users_; }

@@ -1,0 +1,120 @@
+#ifndef EASEML_CORE_SELECTOR_OBSERVER_H_
+#define EASEML_CORE_SELECTOR_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace easeml::core {
+
+/// One tenant's published state at a fold boundary: everything a dashboard
+/// or analytics scan wants to know about the tenant, derived from the same
+/// sources as the candidate index's `TenantKey` (σ̃ bound, line-8 gap,
+/// batched MaxUcb diagnostics) plus the serving-side bookkeeping the engine
+/// already tracks. Plain data — snapshots of it are copied and published
+/// wholesale, never pointed into engine state.
+struct TenantObservation {
+  int tenant = -1;
+  bool retired = false;
+  bool schedulable = false;
+  bool uninitialized = false;  // awaiting its initialization-sweep round
+  int rounds_served = 0;
+  int in_flight = 0;    // tickets currently charged against the tenant
+  int num_models = 0;   // candidate count K
+  int best_model = -1;  // -1 until the first completed run
+  double best_reward = 0.0;
+  double consumed_cost = 0.0;
+  /// σ̃ bound (the GREEDY threshold input); +inf before the first
+  /// observation, -inf when not schedulable.
+  double bound = 0.0;
+  /// Line-8 gap MaxUcb − best_reward; -inf when unavailable (tenant not
+  /// schedulable, or the policy exposes no confidence bounds).
+  double gap = 0.0;
+  /// Batched MaxUcb diagnostic; -inf when `gap` is -inf.
+  double max_ucb = 0.0;
+};
+
+/// Engine-side observation seam. The selector engines (core and shard) call
+/// these hooks from inside their own synchronization; implementations must
+/// be cheap, must never call back into the selector, and must do their own
+/// cross-thread synchronization for anything they publish (the obs layer's
+/// `FleetObserver` is the canonical implementation).
+///
+/// Threading contract, inherited from the engines' fold discipline:
+///  - `OnTenantEvent(obs)` fires on the thread that owns the tenant's shard
+///    state at that moment — the shard worker for routed selections and
+///    queued folds, the (quiesced) coordinator for churn. Events for
+///    tenants on DIFFERENT shards may fire concurrently; events for one
+///    shard never do. (The observer learns each tenant's shard from the
+///    placement hooks, which always precede its events.)
+///  - `OnTenantPlaced` / `OnPlacementChanged` fire only while the engine is
+///    quiesced (coordinator lock held, fold queues drained), never
+///    concurrently with any other hook.
+///  - The timing/metrics hooks (`OnNext`, `OnReport`, `OnTicketRejected`,
+///    `OnFoldQueued`, `OnFold`, `OnDrainWait`) may fire from the
+///    coordinator and the shard workers concurrently.
+///
+/// Every hook has an empty default so implementations subscribe only to
+/// what they consume. The engines skip all derivation work when
+/// `SelectorOptions::observer` is null — the serving path is untouched
+/// (and its traces bit-identical) with observation off.
+class SelectorObserver {
+ public:
+  virtual ~SelectorObserver() = default;
+
+  /// `tenant`'s state changed (selection, fold, cancel, retire): `obs` is
+  /// its fresh summary.
+  virtual void OnTenantEvent(const TenantObservation& obs) { (void)obs; }
+
+  /// A new tenant appeared on `shard` (placement grows at the tail; no
+  /// other tenant moved). Fired before the tenant's first OnTenantEvent.
+  virtual void OnTenantPlaced(int tenant, int shard) {
+    (void)tenant;
+    (void)shard;
+  }
+
+  /// Churn rebalanced the shard map: `shard_tenants[s]` lists the live
+  /// tenants of shard `s` in ascending id order.
+  virtual void OnPlacementChanged(
+      const std::vector<std::vector<int>>& shard_tenants) {
+    (void)shard_tenants;
+  }
+
+  /// A `Next()` call finished its pick + arm-selection phases. `pick_us` is
+  /// the tenant-pick (index descent / scan) thread-CPU cost, `arm_us` the
+  /// arm-selection cost; `ok` is false when no assignment was handed out.
+  virtual void OnNext(bool ok, double pick_us, double arm_us) {
+    (void)ok;
+    (void)pick_us;
+    (void)arm_us;
+  }
+
+  /// A `Report()` coordinator phase finished successfully after
+  /// `coord_us` thread-CPU microseconds (validation + ticket retirement +
+  /// fold hand-off; excludes the fold itself on sharded engines).
+  virtual void OnReport(double coord_us) { (void)coord_us; }
+
+  /// A `Report()`/`Cancel()` ticket was rejected; `code` is the
+  /// `StatusCode` of the precise rejection taxonomy (NotFound = unknown
+  /// id, FailedPrecondition = stale/duplicate, InvalidArgument = forged
+  /// entry or non-finite accuracy).
+  virtual void OnTicketRejected(int code) { (void)code; }
+
+  /// A belief fold was queued on `shard`'s report queue (sharded engine
+  /// coordinator side).
+  virtual void OnFoldQueued(int shard) { (void)shard; }
+
+  /// A belief fold (report or cancel) ran on `shard`, costing `fold_us`
+  /// thread-CPU microseconds on the owning worker.
+  virtual void OnFold(int shard, double fold_us) {
+    (void)shard;
+    (void)fold_us;
+  }
+
+  /// A reader blocked `wait_us` wall-microseconds in `DrainQueues()`
+  /// waiting for in-flight folds (queue-stall time on the serving path).
+  virtual void OnDrainWait(double wait_us) { (void)wait_us; }
+};
+
+}  // namespace easeml::core
+
+#endif  // EASEML_CORE_SELECTOR_OBSERVER_H_

@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace easeml::obs {
+
+void Histogram::Record(double us) {
+  if (!(us > 0.0)) us = 0.0;  // clamp negatives and NaN
+  int bucket = kNumBounds;  // +inf unless a bound catches it
+  for (int i = 0; i < kNumBounds; ++i) {
+    if (us <= kBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<uint64_t>(us * 1e3),
+                    std::memory_order_relaxed);
+}
+
+double Histogram::QuantileUs(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      if (i >= kNumBounds) return kBounds[kNumBounds - 1];  // +inf bucket
+      const double lo = i == 0 ? 0.0 : kBounds[i - 1];
+      const double hi = kBounds[i];
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac));
+    }
+    seen += in_bucket;
+  }
+  return kBounds[kNumBounds - 1];
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  MutexLock lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::ExportText() const {
+  std::ostringstream out;
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << name << "_count " << hist->Count() << "\n";
+    out << name << "_sum_us " << FormatDouble(hist->SumUs()) << "\n";
+    out << name << "_mean_us " << FormatDouble(hist->MeanUs()) << "\n";
+    out << name << "_p50_us " << FormatDouble(hist->QuantileUs(0.5)) << "\n";
+    out << name << "_p99_us " << FormatDouble(hist->QuantileUs(0.99)) << "\n";
+  }
+  return out.str();
+}
+
+std::string Registry::ExportJson() const {
+  std::ostringstream out;
+  MutexLock lock(mu_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << counter->Value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << hist->Count()
+        << ",\"sum_us\":" << FormatDouble(hist->SumUs())
+        << ",\"mean_us\":" << FormatDouble(hist->MeanUs())
+        << ",\"p50_us\":" << FormatDouble(hist->QuantileUs(0.5))
+        << ",\"p99_us\":" << FormatDouble(hist->QuantileUs(0.99))
+        << ",\"buckets\":[";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i != 0) out << ",";
+      out << hist->BucketCount(i);
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace easeml::obs

@@ -1,10 +1,11 @@
 #include "platform/service.h"
 
 #include <algorithm>
-#include <chrono>
+#include <map>
 #include <memory>
 #include <utility>
 
+#include "common/clock.h"
 #include "platform/templates.h"
 #include "shard/sharded_selector.h"
 
@@ -189,7 +190,26 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
 
   AsyncRunReport report;
   report.num_workers = options.num_workers;
-  const auto start = std::chrono::steady_clock::now();
+  const double start = MonotonicSeconds();
+
+  // Executor-utilization instruments (all null when unconfigured). The
+  // dispatch loop is single-threaded, so the ticket->submit-time map needs
+  // no lock; completions correlate through the selector ticket id.
+  obs::Counter* exec_dispatched = nullptr;
+  obs::Counter* exec_completed = nullptr;
+  obs::Counter* exec_failed = nullptr;
+  obs::Histogram* exec_job_wall_us = nullptr;
+  obs::Histogram* exec_campaign_wall_us = nullptr;
+  if (options_.metrics != nullptr) {
+    exec_dispatched = options_.metrics->GetCounter("easeml_exec_dispatched");
+    exec_completed = options_.metrics->GetCounter("easeml_exec_completed");
+    exec_failed = options_.metrics->GetCounter("easeml_exec_failed");
+    exec_job_wall_us =
+        options_.metrics->GetHistogram("easeml_exec_job_wall_us");
+    exec_campaign_wall_us =
+        options_.metrics->GetHistogram("easeml_exec_campaign_wall_us");
+  }
+  std::map<int64_t, double> submit_time;
 
   // A per-job Train failure (bad profile, broken device) must not wedge
   // the service: the ticket is cancelled, the task requeued, dispatch
@@ -227,6 +247,10 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
         first_error = submitted;
         break;
       }
+      if (exec_dispatched != nullptr) {
+        exec_dispatched->Increment();
+        submit_time[a.id] = MonotonicSeconds();
+      }
     }
     if (pool->outstanding() == 0) break;  // drained and nothing dispatchable
 
@@ -235,6 +259,14 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
     EASEML_ASSIGN_OR_RETURN(core::MultiTenantSelector::Assignment a,
                             selector_->InFlightAssignment(done.job_id));
     const int task_id = jobs_[a.tenant].task_ids[a.model];
+    if (exec_dispatched != nullptr) {
+      const auto it = submit_time.find(a.id);
+      if (it != submit_time.end()) {
+        exec_job_wall_us->Record((MonotonicSeconds() - it->second) * 1e6);
+        submit_time.erase(it);
+      }
+      (done.status.ok() ? exec_completed : exec_failed)->Increment();
+    }
     if (!done.status.ok()) {
       EASEML_RETURN_NOT_OK(pool_.Requeue(task_id));
       EASEML_RETURN_NOT_OK(selector_->Cancel(a));
@@ -257,9 +289,10 @@ Result<AsyncRunReport> EaseMlService::RunAsync(int num_workers,
   async_cluster_time_ += report.simulated_busy_time;
   EASEML_RETURN_NOT_OK(first_error);
 
-  report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.wall_seconds = MonotonicSeconds() - start;
+  if (exec_campaign_wall_us != nullptr) {
+    exec_campaign_wall_us->Record(report.wall_seconds * 1e6);
+  }
   pool->Shutdown();
   return report;
 }

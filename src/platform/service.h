@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/multi_tenant_selector.h"
+#include "obs/metrics.h"
 #include "platform/async_executor.h"
 #include "platform/dsl_parser.h"
 #include "platform/model_registry.h"
@@ -67,6 +68,12 @@ class EaseMlService {
     /// Fraction of fed examples whose labels are noisy (weak supervision).
     double noisy_label_fraction = 0.1;
     uint64_t seed = 1;
+    /// Optional executor-utilization instruments (`easeml_exec_*`:
+    /// dispatched/completed/failed counters, per-job and per-campaign wall
+    /// histograms), recorded by `RunAsync`. Non-owning; must outlive the
+    /// service. Pair with a `FleetObserver` on `selector.observer` sharing
+    /// the same registry for the full serving-plus-executing picture.
+    obs::Registry* metrics = nullptr;
   };
 
   static Result<EaseMlService> Create(const Options& options);

@@ -1,19 +1,11 @@
 #include "shard/shard_pool.h"
 
-#include <ctime>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace easeml::shard {
-
-namespace {
-double ThreadCpuSeconds() {
-  timespec ts{};
-  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
-  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
-}
-}  // namespace
 
 ShardPool::ShardPool(int num_workers) {
   EASEML_CHECK(num_workers >= 1) << "ShardPool: num_workers must be >= 1";

@@ -54,6 +54,15 @@ auto ShardedMultiTenantSelector::RouteToOwner(int tenant, Fn fn)
   return std::move(*result);
 }
 
+void ShardedMultiTenantSelector::NotifyPlacementLocked() {
+  core::SelectorObserver* obs = observer();
+  if (obs == nullptr) return;
+  std::vector<std::vector<int>> locals;
+  locals.reserve(static_cast<size_t>(map_.num_shards()));
+  for (int s = 0; s < map_.num_shards(); ++s) locals.push_back(map_.local(s));
+  obs->OnPlacementChanged(locals);
+}
+
 void ShardedMultiTenantSelector::SyncIndexPlacement() {
   scheduler::CandidateIndex* index = candidate_index();
   if (index == nullptr) return;
@@ -184,28 +193,52 @@ ShardedMultiTenantSelector::Next() {
 
 Status ShardedMultiTenantSelector::Report(const Assignment& assignment,
                                           double accuracy) {
+  // Observation (all guarded — zero clock reads when no observer is set):
+  // OnReport carries the coordinator's thread-CPU cost, which excludes the
+  // fold (it runs on the owning worker, timed inside the queued closure)
+  // and, on the HYBRID path, the drain (a condvar wait burns wall time,
+  // not this thread's CPU).
+  core::SelectorObserver* obs = observer();
+  const double c0 = obs != nullptr ? ThreadCpuSeconds() : 0.0;
   int tenant = -1;
   {
     MutexLock lock(mu_);
     // Coordinator phase: validate + retire the ticket, then hand the fold
     // to the tenant's owning shard worker. FIFO queue order under mu_ is
     // the per-tenant fold order — identical to the sequential engine's.
-    EASEML_ASSIGN_OR_RETURN(const Assignment issued,
-                            BeginReport(assignment, accuracy));
+    Result<Assignment> begun = BeginReport(assignment, accuracy);
+    if (!begun.ok()) {
+      if (obs != nullptr) {
+        obs->OnTicketRejected(static_cast<int>(begun.status().code()));
+      }
+      return begun.status();
+    }
+    const Assignment issued = *begun;
     tenant = issued.tenant;
     const int owner = map_.shard_of(tenant);
     EASEML_CHECK(owner >= 0)
         << "shard: tenant " << tenant << " of live ticket " << issued.id
         << " is not mapped to any shard";
-    const bool queued = pool_.Enqueue(
-        owner, [this, issued, accuracy] { FoldReportedOutcome(issued, accuracy); });
+    // The fold emits its own tenant event (base FoldReportedOutcome), so
+    // the closure only adds worker-side timing around it when observed.
+    const bool queued = pool_.Enqueue(owner, [this, issued, accuracy, owner] {
+      if (observer() == nullptr) {
+        FoldReportedOutcome(issued, accuracy);
+        return;
+      }
+      const double f0 = ThreadCpuSeconds();
+      FoldReportedOutcome(issued, accuracy);
+      observer()->OnFold(owner, (ThreadCpuSeconds() - f0) * 1e6);
+    });
     EASEML_CHECK(queued) << "shard: report queue rejected a validated fold "
                             "(pool shut down under a live selector)";
+    if (obs != nullptr) obs->OnFoldQueued(owner);
     if (!scheduler_observes_outcomes_) {
       // Stateless-OnOutcome policies: sequence the scheduler now and
       // return with the fold still queued. Readers quiesce on entry, so
       // nothing can observe the tenant pre-fold.
       FinishReport(tenant);
+      if (obs != nullptr) obs->OnReport((ThreadCpuSeconds() - c0) * 1e6);
       return Status::OK();
     }
   }
@@ -219,23 +252,40 @@ Status ShardedMultiTenantSelector::Report(const Assignment& assignment,
   MutexLock lock(mu_);
   DrainFolds();
   FinishReport(tenant);
+  if (obs != nullptr) obs->OnReport((ThreadCpuSeconds() - c0) * 1e6);
   return Status::OK();
 }
 
 Status ShardedMultiTenantSelector::Cancel(const Assignment& assignment) {
+  core::SelectorObserver* obs = observer();
   MutexLock lock(mu_);
   // Same coordinator/shard split as Report, minus the scheduler sequencing
   // (a cancel is not an outcome): retire the ticket, queue the un-charge
   // on the owner, return immediately.
-  EASEML_ASSIGN_OR_RETURN(const Assignment issued, BeginCancel(assignment));
+  Result<Assignment> begun = BeginCancel(assignment);
+  if (!begun.ok()) {
+    if (obs != nullptr) {
+      obs->OnTicketRejected(static_cast<int>(begun.status().code()));
+    }
+    return begun.status();
+  }
+  const Assignment issued = *begun;
   const int owner = map_.shard_of(issued.tenant);
   EASEML_CHECK(owner >= 0)
       << "shard: tenant " << issued.tenant << " of live ticket " << issued.id
       << " is not mapped to any shard";
-  const bool queued =
-      pool_.Enqueue(owner, [this, issued] { FoldCancel(issued); });
+  const bool queued = pool_.Enqueue(owner, [this, issued, owner] {
+    if (observer() == nullptr) {
+      FoldCancel(issued);
+      return;
+    }
+    const double f0 = ThreadCpuSeconds();
+    FoldCancel(issued);
+    observer()->OnFold(owner, (ThreadCpuSeconds() - f0) * 1e6);
+  });
   EASEML_CHECK(queued) << "shard: report queue rejected a validated cancel "
                           "(pool shut down under a live selector)";
+  if (obs != nullptr) obs->OnFoldQueued(owner);
   return Status::OK();
 }
 

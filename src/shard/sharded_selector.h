@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/thread_annotations.h"
 #include "core/multi_tenant_selector.h"
 #include "shard/shard_map.h"
@@ -157,11 +158,23 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   void OnTenantAdded(int tenant) override EASEML_REQUIRES(mu_) {
     map_.Add(tenant);
     SyncIndexPlacement();
+    // A rebalance may have moved OTHER tenants too: republish the whole
+    // placement, then the new tenant's first observation.
+    NotifyPlacementLocked();
+    NotifyTenantEvent(tenant);
   }
   void OnTenantRemoved(int tenant) override EASEML_REQUIRES(mu_) {
     map_.Remove(tenant);
     SyncIndexPlacement();
+    // The base hook already published the retirement event; dropping the
+    // tenant from the placement is what retires its snapshot entry.
+    NotifyPlacementLocked();
   }
+
+  /// Publishes the current shard->tenants partition to the observer (no-op
+  /// without one). Quiesced by construction: every caller holds mu_ right
+  /// after a drain, so no worker-side tenant event runs concurrently.
+  void NotifyPlacementLocked() EASEML_REQUIRES(mu_);
 
   /// Rebuilds the index placement from the shard map's partition (no-op
   /// when the index is disabled): one tournament tree per shard over its
@@ -179,8 +192,19 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   /// Quiesces the report pipeline: blocks until every queued fold has
   /// finished. Callers hold `mu_`, so no new fold can be enqueued while
   /// they proceed — from here to unlock the engine is fully folded. Every
-  /// reader of tenant/index state must call this right after locking.
-  void DrainFolds() const EASEML_REQUIRES(mu_) { pool_.DrainQueues(); }
+  /// reader of tenant/index state must call this right after locking. The
+  /// observed wall-time stall (readers blocked behind in-flight folds) is
+  /// the pipeline's queue-stall metric.
+  void DrainFolds() const EASEML_REQUIRES(mu_) {
+    core::SelectorObserver* obs = observer();
+    if (obs == nullptr) {
+      pool_.DrainQueues();
+      return;
+    }
+    const double w0 = MonotonicSeconds();
+    pool_.DrainQueues();
+    obs->OnDrainWait((MonotonicSeconds() - w0) * 1e6);
+  }
 
   /// Serializes the ticketed protocol. Guards the shard map (and, through
   /// the engine seams it wraps, all base-engine tenant state: users,

@@ -1,0 +1,157 @@
+/// Unit tests for the hot-path instruments: counter/histogram recording
+/// semantics, bucket placement on the compiled-in bounds ladder, registry
+/// pointer stability, exporter formats, and a concurrent-recording smoke
+/// (count/sum exactness under racing relaxed increments — the TSan leg
+/// races this file too).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace easeml::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 1u);
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(HistogramTest, EmptyStats) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumUs(), 0.0);
+  EXPECT_EQ(h.MeanUs(), 0.0);
+  EXPECT_EQ(h.QuantileUs(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketPlacementOnBoundsLadder) {
+  Histogram h;
+  h.Record(0.3);      // <= 0.5 -> bucket 0
+  h.Record(0.5);      // == bound -> bucket 0 (bounds are inclusive tops)
+  h.Record(0.7);      // <= 1.0 -> bucket 1
+  h.Record(30000.0);  // <= 50000 -> bucket 15
+  h.Record(1e9);      // above the top bound -> +inf bucket
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBounds - 1), 1u);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBounds), 1u);  // +inf
+  EXPECT_EQ(h.Count(), 5u);
+}
+
+TEST(HistogramTest, SumIsExactToNanosecondQuantization) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(2.5);
+  h.Record(0.125);  // 125ns exactly
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.SumUs(), 3.625);
+  EXPECT_DOUBLE_EQ(h.MeanUs(), 3.625 / 3.0);
+}
+
+TEST(HistogramTest, NegativeAndNanSamplesClampToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  h.Record(std::nan(""));
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.SumUs(), 0.0);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideOwningBucket) {
+  Histogram h;
+  // 100 samples uniform in (1, 2]: all land in the (1, 2] bucket.
+  for (int i = 1; i <= 100; ++i) h.Record(1.0 + i * 0.01);
+  const double p50 = h.QuantileUs(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  // p0 pins to the bucket's lower edge, p100 to its upper bound.
+  EXPECT_LE(h.QuantileUs(0.0), p50);
+  EXPECT_LE(p50, h.QuantileUs(1.0));
+}
+
+TEST(RegistryTest, StablePointersPerName) {
+  Registry r;
+  Counter* a = r.GetCounter("easeml_next_total");
+  Counter* b = r.GetCounter("easeml_next_total");
+  Counter* c = r.GetCounter("easeml_report_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  Histogram* h1 = r.GetHistogram("easeml_next_pick_us");
+  Histogram* h2 = r.GetHistogram("easeml_next_pick_us");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(RegistryTest, ExportTextFormat) {
+  Registry r;
+  r.GetCounter("easeml_b_counter")->Increment(7);
+  r.GetCounter("easeml_a_counter")->Increment(3);
+  r.GetHistogram("easeml_lat_us")->Record(1.5);
+  const std::string text = r.ExportText();
+  EXPECT_NE(text.find("easeml_a_counter 3\n"), std::string::npos);
+  EXPECT_NE(text.find("easeml_b_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("easeml_lat_us_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("easeml_lat_us_sum_us"), std::string::npos);
+  EXPECT_NE(text.find("easeml_lat_us_mean_us"), std::string::npos);
+  EXPECT_NE(text.find("easeml_lat_us_p50_us"), std::string::npos);
+  EXPECT_NE(text.find("easeml_lat_us_p99_us"), std::string::npos);
+  // std::map ordering: counters export sorted by name.
+  EXPECT_LT(text.find("easeml_a_counter"), text.find("easeml_b_counter"));
+}
+
+TEST(RegistryTest, ExportJsonShape) {
+  Registry r;
+  r.GetCounter("easeml_x")->Increment();
+  r.GetHistogram("easeml_y_us")->Record(2.0);
+  const std::string json = r.ExportJson();
+  EXPECT_EQ(json.find("{\"counters\":"), 0u);
+  EXPECT_NE(json.find("\"easeml_x\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"easeml_y_us\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+  // Crude structural sanity: braces balance.
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RegistryTest, ConcurrentRecordingIsExact) {
+  Registry r;
+  Counter* counter = r.GetCounter("easeml_hits");
+  Histogram* hist = r.GetHistogram("easeml_lat_us");
+  constexpr int kThreads = 4;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        counter->Increment();
+        hist->Record(1.0);  // 1000ns exactly: the sum must close
+      }
+    });
+  }
+  // Concurrent scrapes must be safe (values racy, structure not).
+  for (int i = 0; i < 10; ++i) {
+    (void)r.ExportText();
+    (void)r.ExportJson();
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(hist->Count(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_DOUBLE_EQ(hist->SumUs(), static_cast<double>(kThreads) * kOps);
+}
+
+}  // namespace
+}  // namespace easeml::obs

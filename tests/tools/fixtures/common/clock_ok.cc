@@ -1,0 +1,9 @@
+// Fixture: common/ is the raw-clock home — the seam's own OS clock reads
+// must NOT fire the rule.
+#include <ctime>
+
+double SeamSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}

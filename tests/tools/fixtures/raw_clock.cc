@@ -1,0 +1,22 @@
+// Fixture: raw clock reads outside common/ (raw-clock), including one
+// reasoned suppression that must be honored.
+#include <chrono>
+#include <ctime>
+
+double WallSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec);
+}
+
+double ChronoSeconds() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+double SuppressedSeconds() {
+  timespec ts{};
+  // easeml-lint: allow(raw-clock) fixture proves reasoned suppressions work
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec);
+}

@@ -56,7 +56,7 @@ TEST(LintCli, HelpListsEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"unordered-container", "raw-rng", "chrono-seed", "raw-double-accum",
-        "raw-sync", "unguarded-mutex", "bad-suppression"}) {
+        "raw-sync", "unguarded-mutex", "raw-clock", "bad-suppression"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos)
         << "--help does not document rule: " << rule;
   }
@@ -136,6 +136,25 @@ TEST(LintRules, UnguardedMutexMember) {
   EXPECT_EQ(run.output.find("[unguarded-mutex]", first + 1),
             std::string::npos)
       << run.output;
+}
+
+TEST(LintRules, RawClockOutsideCommon) {
+  const std::string rel = "raw_clock.cc";
+  LintRun run = RunLint(Fixture(rel));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find(Anchor(rel, 8, "raw-clock")), std::string::npos)
+      << run.output;  // clock_gettime
+  EXPECT_NE(run.output.find(Anchor(rel, 13, "raw-clock")), std::string::npos)
+      << run.output;  // std::chrono::steady_clock
+  // The reasoned suppression on line 19 must silence the read on line 20.
+  EXPECT_EQ(run.output.find(":20:"), std::string::npos) << run.output;
+}
+
+TEST(LintRules, RawClockAllowedInCommon) {
+  // common/ is the seam's home: the identical tokens there stay silent.
+  LintRun run = RunLint(Fixture("common/clock_ok.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output.find("raw-clock"), std::string::npos) << run.output;
 }
 
 TEST(LintSuppression, ValidSuppressionsSilenceFindings) {

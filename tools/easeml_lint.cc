@@ -29,6 +29,12 @@
 //                        EASEML_PT_GUARDED_BY — a lock that guards nothing
 //                        the analysis can check is a lock the analysis
 //                        cannot help with.
+//   raw-clock            no raw clock reads (clock_gettime/gettimeofday or
+//                        the <chrono> clocks) outside common/ — all timing
+//                        goes through the common/clock.h seam
+//                        (easeml::MonotonicSeconds/ThreadCpuSeconds) so the
+//                        clock choice, and any future virtualization for
+//                        deterministic replay, lives in one place.
 //
 // Suppression (machine-readable, reason required):
 //   code;  // easeml-lint: allow(rule-id) why this one is safe
@@ -109,6 +115,9 @@ constexpr RuleInfo kRules[] = {
     {"unguarded-mutex",
      "class declares a Mutex member but annotates no field with "
      "EASEML_GUARDED_BY"},
+    {"raw-clock",
+     "raw clock reads outside common/ (read time through the "
+     "common/clock.h seam: easeml::MonotonicSeconds/ThreadCpuSeconds)"},
     {"bad-suppression",
      "easeml-lint:allow directive without a reason or with an unknown rule "
      "id"},
@@ -331,6 +340,12 @@ bool IsAnnotationsHome(const std::string& path) {
   return PathContains(path, "common/thread_annotations.h");
 }
 
+// The raw-clock rule exempts all of common/ (clock.h is the seam itself, and
+// the wrapper layer is the one place allowed to talk to the OS clocks).
+bool InCommonDir(const std::string& path) {
+  return PathContains(path, "common/");
+}
+
 // ---------------------------------------------------------------------------
 // The checker.
 // ---------------------------------------------------------------------------
@@ -347,6 +362,13 @@ const std::set<std::string>& RawRngIdents() {
       "rand",         "srand",          "random_device",
       "mt19937",      "mt19937_64",     "minstd_rand",
       "minstd_rand0", "default_random_engine"};
+  return kSet;
+}
+
+const std::set<std::string>& RawClockIdents() {
+  static const std::set<std::string> kSet = {
+      "clock_gettime", "gettimeofday", "steady_clock", "system_clock",
+      "high_resolution_clock"};
   return kSet;
 }
 
@@ -398,6 +420,7 @@ void CheckFile(const std::string& path, const std::vector<Token>& tokens,
   const bool rng_home = IsRngHome(path);
   const bool exact_sum_home = IsExactSumHome(path);
   const bool annotations_home = IsAnnotationsHome(path);
+  const bool common_dir = InCommonDir(path);
 
   int brace_depth = 0;
   int paren_depth = 0;
@@ -551,6 +574,15 @@ void CheckFile(const std::string& path, const std::vector<Token>& tokens,
                 "associative, so the result depends on the shard partition; "
                 "accumulate through ExactDoubleSum");
       }
+    }
+
+    // --- raw-clock --------------------------------------------------------
+    if (!common_dir && RawClockIdents().count(t) != 0) {
+      add(tok.line, "raw-clock",
+          "'" + t +
+              "' outside common/: read time through "
+              "easeml::MonotonicSeconds()/ThreadCpuSeconds() (common/clock.h) "
+              "so every clock read shares one virtualizable seam");
     }
 
     // --- raw-sync ---------------------------------------------------------
