@@ -1,0 +1,47 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace easeml {
+
+namespace {
+
+/// Reflected IEEE polynomial 0xEDB88320, table generated at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr uint32_t kMaskDelta = 0xa282ead8u;
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const std::array<uint32_t, 256>& table = Crc32Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t MaskCrc32(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t UnmaskCrc32(uint32_t masked) {
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace easeml

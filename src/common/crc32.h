@@ -1,0 +1,23 @@
+#ifndef EASEML_COMMON_CRC32_H_
+#define EASEML_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace easeml {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`, continuing from
+/// `seed` (0 for a fresh checksum). The write-ahead log frames every record
+/// with this checksum so recovery can find the first torn or corrupt byte
+/// of the tail deterministically.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// Masked variant for values that are THEMSELVES stored inside checksummed
+/// payloads (the RocksDB/LevelDB trick): a raw CRC of data that embeds CRCs
+/// degenerates, so stored checksums are rotated and offset.
+uint32_t MaskCrc32(uint32_t crc);
+uint32_t UnmaskCrc32(uint32_t masked);
+
+}  // namespace easeml
+
+#endif  // EASEML_COMMON_CRC32_H_

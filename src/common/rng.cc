@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <sstream>
+
 #include "common/logging.h"
 
 namespace easeml {
@@ -57,6 +59,23 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 uint64_t Rng::NextSeed() {
   std::uniform_int_distribution<uint64_t> dist;
   return dist(engine_);
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) {
+    return Status::DataLoss("Rng::LoadState: engine state does not parse");
+  }
+  engine_ = restored;
+  return Status::OK();
 }
 
 uint64_t SplitMix64(uint64_t x) {

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace easeml {
 
@@ -67,6 +70,18 @@ class Rng {
 
   /// Access to the underlying engine for std distributions.
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the complete generator state as portable decimal text (the
+  /// standard's operator<< format for the Mersenne engine). Every
+  /// distribution this class offers is a per-call local, so the engine IS
+  /// the full state: Save/Load round-trips reproduce the stream exactly —
+  /// the property durable checkpoints of the RANDOM/GREEDY schedulers
+  /// depend on.
+  std::string SaveState() const;
+
+  /// Restores a state produced by `SaveState`. Fails with DataLoss when the
+  /// text does not parse as an engine state.
+  Status LoadState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kDataLoss,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +64,21 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Unrecoverable loss or corruption of durable state (a write-ahead log
+  /// whose CRC-valid records contradict each other, a checkpoint whose
+  /// serialized factor does not match its replayed history). Distinct from
+  /// kInternal: the program is fine, the *data* is not, and the caller
+  /// should surface it to an operator instead of retrying.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// The service (or, in fault-injection tests, the simulated medium) is
+  /// transiently gone; the operation may succeed if retried against a
+  /// recovered instance. Distinct from kFailedPrecondition: nothing about
+  /// the REQUEST is wrong.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status represents success.

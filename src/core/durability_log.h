@@ -1,0 +1,80 @@
+#ifndef EASEML_CORE_DURABILITY_LOG_H_
+#define EASEML_CORE_DURABILITY_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace easeml::gp {
+struct SharedGpPrior;
+}  // namespace easeml::gp
+
+namespace easeml::core {
+
+/// Write-ahead-log seam of the selector engines (the durability twin of
+/// `SelectorObserver`): `SelectorOptions::wal` points at one of these, and
+/// every successful state mutation appends exactly one record — AFTER the
+/// engine applied it, under the engine's synchronization, so log order
+/// equals validation order and replaying the log reproduces the engine
+/// bit-identically. When the pointer is unset (the default) every hook
+/// site is a single branch and the serving path is byte-for-byte the
+/// undurable one.
+///
+/// Ack discipline: the engines call `Sync` before returning from the
+/// mutations whose acknowledgement promises durability (AddTenant,
+/// RemoveTenant, Report, Cancel). `Next` appends WITHOUT syncing — a
+/// ticket is a promise of work, not of durability, and the log's
+/// sequential-prefix property guarantees that any later synced Report of
+/// that ticket makes the Next record durable with it. A crash can
+/// therefore lose an unsynced ticket, and recovery answers its Report with
+/// NotFound (the id was never issued by the replayed engine) — exactly the
+/// taxonomy a never-issued ticket gets.
+///
+/// A failed append or sync is fatal for the selector: the engine latches
+/// the error and refuses every further mutation (fail-stop), because its
+/// in-memory state may now be ahead of what the log can ever replay.
+class DurabilityLog {
+ public:
+  /// Log position: `epoch` counts appended records (each non-pad record
+  /// advances it by exactly 1 — replay verifies contiguity), `offset` is
+  /// the logical byte offset the next record would start at. Read under
+  /// the engine's synchronization when embedded in a checkpoint, so a
+  /// checkpoint names the exact log suffix replay must apply on top of it.
+  struct Position {
+    int64_t epoch = 0;
+    int64_t offset = 0;
+  };
+
+  virtual ~DurabilityLog() = default;
+
+  /// `prior` identity (pointer equality) keys prior deduplication: the
+  /// first tenant of a prior appends a registration record carrying the
+  /// full Gram/mean/noise; later tenants reference its id.
+  virtual Status LogAddTenant(
+      int tenant, const std::shared_ptr<const gp::SharedGpPrior>& prior,
+      const std::vector<double>& costs) = 0;
+  virtual Status LogRemoveTenant(int tenant) = 0;
+  virtual Status LogNext(int tenant, int model, int64_t ticket) = 0;
+  virtual Status LogReport(int64_t ticket, int tenant, int model,
+                           double accuracy) = 0;
+  virtual Status LogCancel(int64_t ticket, int tenant, int model) = 0;
+
+  /// Makes every record appended so far durable before returning. Group
+  /// commit: one sync covers all records appended since the previous one,
+  /// and a sync whose records are already durable returns immediately.
+  virtual Status Sync() = 0;
+
+  /// True when `Sync` is a no-op by construction (a deferred/group-commit
+  /// log whose acks ride batched flushes). The engines check this once per
+  /// ack so the serving hot path skips the call entirely; implementations
+  /// must answer from immutable configuration, not current buffer state.
+  virtual bool SyncIsDeferred() const { return false; }
+
+  virtual Position position() const = 0;
+};
+
+}  // namespace easeml::core
+
+#endif  // EASEML_CORE_DURABILITY_LOG_H_

@@ -1,7 +1,9 @@
 #include "core/multi_tenant_selector.h"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <string_view>
 
 #include "bandit/gp_ucb.h"
 #include "common/clock.h"
@@ -103,6 +105,27 @@ Status MultiTenantSelector::NoDispatchableWorkStatus() const {
                    "completion first");
 }
 
+Status MultiTenantSelector::WalGuard() const {
+  if (options_.wal == nullptr || wal_status_.ok()) return Status::OK();
+  return Status::FailedPrecondition(
+      "selector: a write-ahead log append failed (" + wal_status_.ToString() +
+      "); the selector is fail-stopped — recover a fresh engine from the log");
+}
+
+Status MultiTenantSelector::WalApply(Status status) {
+  if (!status.ok() && wal_status_.ok()) wal_status_ = status;
+  return status;
+}
+
+Status MultiTenantSelector::SyncWal() {
+  // A deferred log's Sync is a no-op by construction (acks ride batched
+  // flushes inside Log*), so skip the call on the serving path.
+  if (options_.wal == nullptr || options_.wal->SyncIsDeferred()) {
+    return Status::OK();
+  }
+  return WalApply(options_.wal->Sync());
+}
+
 Result<int> MultiTenantSelector::AddTenantWithBelief(
     std::unique_ptr<gp::ArmBelief> belief, std::vector<double> costs) {
   bandit::GpUcbOptions ucb;
@@ -176,13 +199,36 @@ void MultiTenantSelector::NotifyTenantEvent(int tenant) {
 Result<int> MultiTenantSelector::AddTenant(
     std::shared_ptr<const gp::SharedGpPrior> prior,
     std::vector<double> costs) {
+  EASEML_RETURN_NOT_OK(WalGuard());
+  // Keep log copies before the belief consumes the prior handle: the
+  // append carries the prior (for identity-deduplicated registration) and
+  // the costs of the tenant it registers.
+  std::shared_ptr<const gp::SharedGpPrior> prior_for_log;
+  std::vector<double> costs_for_log;
+  if (options_.wal != nullptr) {
+    prior_for_log = prior;
+    costs_for_log = costs;
+  }
   EASEML_ASSIGN_OR_RETURN(std::unique_ptr<gp::SharedPriorGp> belief,
                           gp::SharedPriorGp::CreateUnique(std::move(prior)));
-  return AddTenantWithBelief(std::move(belief), std::move(costs));
+  EASEML_ASSIGN_OR_RETURN(
+      const int id, AddTenantWithBelief(std::move(belief), std::move(costs)));
+  if (options_.wal != nullptr) {
+    EASEML_RETURN_NOT_OK(WalApply(
+        options_.wal->LogAddTenant(id, prior_for_log, costs_for_log)));
+    EASEML_RETURN_NOT_OK(SyncWal());
+  }
+  return id;
 }
 
 Result<int> MultiTenantSelector::AddTenant(gp::DiscreteArmGp belief,
                                            std::vector<double> costs) {
+  if (options_.wal != nullptr) {
+    return Status::Unimplemented(
+        "AddTenant: the durable selector requires the shared-prior belief "
+        "representation (dense per-tenant beliefs are not serializable; "
+        "register via a SharedGpPrior)");
+  }
   return AddTenantWithBelief(
       std::make_unique<gp::DiscreteArmGp>(std::move(belief)),
       std::move(costs));
@@ -268,6 +314,7 @@ Result<int> MultiTenantSelector::AddTenantWithDefaultPrior(
 }
 
 Status MultiTenantSelector::RemoveTenant(int tenant) {
+  EASEML_RETURN_NOT_OK(WalGuard());
   EASEML_RETURN_NOT_OK(ValidateTenant(tenant));
   scheduler::UserState& user = users_[tenant];
   if (user.retired()) {
@@ -289,6 +336,10 @@ Status MultiTenantSelector::RemoveTenant(int tenant) {
   // sharded placement hook below then drops it from the observer's map.
   NotifyTenantEvent(tenant);
   OnTenantRemoved(tenant);
+  if (options_.wal != nullptr) {
+    EASEML_RETURN_NOT_OK(WalApply(options_.wal->LogRemoveTenant(tenant)));
+    EASEML_RETURN_NOT_OK(SyncWal());
+  }
   return Status::OK();
 }
 
@@ -367,6 +418,7 @@ Status MultiTenantSelector::CancelSelectionFor(int tenant, int model) {
 }
 
 Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
+  EASEML_RETURN_NOT_OK(WalGuard());
   if (users_.empty()) {
     return Status::FailedPrecondition("Next: no tenants registered");
   }
@@ -399,6 +451,15 @@ Result<MultiTenantSelector::Assignment> MultiTenantSelector::Next() {
   assignment.model = model;
   assignment.id = next_ticket_++;
   in_flight_.emplace(assignment.id, assignment);
+  if (options_.wal != nullptr) {
+    // Appended, deliberately NOT synced: a ticket promises work, not
+    // durability. A later synced Report makes this record durable with it
+    // (log-prefix property); a crash first loses the ticket cleanly and
+    // its Report answers NotFound after recovery.
+    EASEML_RETURN_NOT_OK(WalApply(
+        options_.wal->LogNext(assignment.tenant, assignment.model,
+                              assignment.id)));
+  }
   return assignment;
 }
 
@@ -432,6 +493,7 @@ MultiTenantSelector::FindIssuedEntry(const Assignment& assignment) {
 
 Result<MultiTenantSelector::Assignment> MultiTenantSelector::BeginReport(
     const Assignment& assignment, double accuracy) {
+  EASEML_RETURN_NOT_OK(WalGuard());
   EASEML_ASSIGN_OR_RETURN(auto it, FindIssuedEntry(assignment));
   if (!std::isfinite(accuracy)) {
     return Status::InvalidArgument("Report: accuracy must be finite");
@@ -442,6 +504,13 @@ Result<MultiTenantSelector::Assignment> MultiTenantSelector::BeginReport(
   // of the same ticket is FailedPrecondition even if the fold is still
   // queued on the owning shard.
   in_flight_.erase(it);
+  if (options_.wal != nullptr) {
+    // Appended inside the coordinator phase so log order = validation
+    // order even when folds run on shard workers; the engine syncs before
+    // acknowledging the Report.
+    EASEML_RETURN_NOT_OK(WalApply(options_.wal->LogReport(
+        issued.id, issued.tenant, issued.model, accuracy)));
+  }
   return issued;
 }
 
@@ -474,7 +543,7 @@ Status MultiTenantSelector::Report(const Assignment& assignment,
                             BeginReport(assignment, accuracy));
     FoldReportedOutcome(issued, accuracy);
     FinishReport(issued.tenant);
-    return Status::OK();
+    return SyncWal();
   }
   // Observed path: identical calls, plus the coordinator/fold timing split
   // (the base engine folds inline, so the split is derived from one pass).
@@ -492,14 +561,19 @@ Status MultiTenantSelector::Report(const Assignment& assignment,
   const double t3 = ThreadCpuSeconds();
   obs->OnFold(0, (t2 - t1) * 1e6);
   obs->OnReport(((t1 - t0) + (t3 - t2)) * 1e6);
-  return Status::OK();
+  return SyncWal();
 }
 
 Result<MultiTenantSelector::Assignment> MultiTenantSelector::BeginCancel(
     const Assignment& assignment) {
+  EASEML_RETURN_NOT_OK(WalGuard());
   EASEML_ASSIGN_OR_RETURN(auto it, FindIssuedEntry(assignment));
   const Assignment issued = it->second;
   in_flight_.erase(it);
+  if (options_.wal != nullptr) {
+    EASEML_RETURN_NOT_OK(WalApply(options_.wal->LogCancel(
+        issued.id, issued.tenant, issued.model)));
+  }
   return issued;
 }
 
@@ -521,7 +595,7 @@ Status MultiTenantSelector::Cancel(const Assignment& assignment) {
     return issued.status();
   }
   FoldCancel(*issued);
-  return Status::OK();
+  return SyncWal();
 }
 
 Result<MultiTenantSelector::Assignment> MultiTenantSelector::InFlightAssignment(
@@ -558,6 +632,270 @@ Result<double> MultiTenantSelector::BestAccuracy(int tenant) const {
 Result<int> MultiTenantSelector::RoundsServed(int tenant) const {
   EASEML_RETURN_NOT_OK(ValidateTenant(tenant));
   return users_[tenant].rounds_served();
+}
+
+namespace {
+
+/// Rebuilds a tenant's shared-prior belief by replaying its observation
+/// history (Cholesky::Append is deterministic, so the replayed factor is
+/// bit-identical to the one at capture time) and verifies it bit-for-bit
+/// against the stored factor — corruption that survived the framing CRC
+/// cannot silently skew a posterior.
+Result<std::unique_ptr<gp::SharedPriorGp>> RebuildBelief(
+    const DurableBelief& d,
+    const std::shared_ptr<const gp::SharedGpPrior>& prior) {
+  EASEML_ASSIGN_OR_RETURN(std::unique_ptr<gp::SharedPriorGp> belief,
+                          gp::SharedPriorGp::CreateUnique(prior));
+  // Prime the marginal caches at t = 0 BEFORE replaying the history. A
+  // live engine always queries at selection time before it observes, so
+  // its caches only ever advance along the incremental forward-
+  // substitution path; the batched from-scratch rebuild is a different
+  // floating-point path (agrees to ~1e-9, not bitwise). Building the
+  // empty summary now forces every later query onto the incremental path,
+  // making the restored belief's future UCBs bit-identical to an engine
+  // that never restored.
+  (void)belief->AllMarginals();
+  if (d.arms.size() != d.rewards.size()) {
+    return Status::DataLoss(
+        "restore: belief history arms/rewards length mismatch");
+  }
+  const int k = prior->num_arms();
+  for (size_t i = 0; i < d.arms.size(); ++i) {
+    if (d.arms[i] < 0 || d.arms[i] >= k) {
+      return Status::DataLoss("restore: belief history arm out of range");
+    }
+    EASEML_RETURN_NOT_OK(belief->Observe(d.arms[i], d.rewards[i]));
+  }
+  const linalg::Cholesky& chol = belief->factor();
+  const int t = chol.dim();
+  if (d.chol.size() != static_cast<size_t>(t) * (t + 1) / 2) {
+    return Status::DataLoss(
+        "restore: stored Cholesky factor does not match the history length");
+  }
+  size_t idx = 0;
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j <= i; ++j, ++idx) {
+      const double replayed = chol.At(i, j);
+      if (std::memcmp(&replayed, &d.chol[idx], sizeof(double)) != 0) {
+        return Status::DataLoss(
+            "restore: replayed Cholesky factor disagrees with the stored "
+            "one at L(" + std::to_string(i) + ", " + std::to_string(j) +
+            ") — the belief history is corrupt");
+      }
+    }
+  }
+  return belief;
+}
+
+}  // namespace
+
+Result<DurableSelectorState> MultiTenantSelector::CaptureDurableState() const {
+  DurableSelectorState state;
+  // Priors deduplicate by CONTENT (bit-exact num_arms/noise/mean/Gram), not
+  // object identity: a recovered engine holds checkpoint-restored and
+  // replay-registered copies of the same prior as distinct objects, and its
+  // capture must still encode byte-identically to a never-crashed engine.
+  // The pointer map is only a cache in front of the content key.
+  const auto prior_content_key = [](const gp::SharedGpPrior& p) {
+    std::string key;
+    const int32_t arms = p.num_arms();
+    key.append(reinterpret_cast<const char*>(&arms), sizeof(arms));
+    key.append(reinterpret_cast<const char*>(&p.noise_variance),
+               sizeof(double));
+    key.append(reinterpret_cast<const char*>(p.mean.data()),
+               p.mean.size() * sizeof(double));
+    const std::vector<double>& gram = p.gram.data();
+    key.append(reinterpret_cast<const char*>(gram.data()),
+               gram.size() * sizeof(double));
+    return key;
+  };
+  std::map<const gp::SharedGpPrior*, int> prior_ids;
+  std::map<std::string, int> prior_ids_by_content;
+  state.tenants.reserve(users_.size());
+  for (const scheduler::UserState& u : users_) {
+    DurableTenant t;
+    t.user = u.CaptureDurable();
+    if (!u.retired()) {
+      const auto* ucb = dynamic_cast<const bandit::GpUcbPolicy*>(&u.policy());
+      const auto* belief =
+          ucb == nullptr
+              ? nullptr
+              : dynamic_cast<const gp::SharedPriorGp*>(&ucb->belief());
+      if (belief == nullptr) {
+        return Status::Unimplemented(
+            "CaptureDurableState: tenant " + std::to_string(u.user_id()) +
+            " does not run the shared-prior GP-UCB belief; only that "
+            "representation is serializable");
+      }
+      const std::shared_ptr<const gp::SharedGpPrior>& prior = belief->prior();
+      const auto ptr_it = prior_ids.find(prior.get());
+      int prior_id;
+      if (ptr_it != prior_ids.end()) {
+        prior_id = ptr_it->second;
+      } else {
+        const auto [it, inserted] = prior_ids_by_content.emplace(
+            prior_content_key(*prior), static_cast<int>(state.priors.size()));
+        if (inserted) {
+          DurablePrior p;
+          p.num_arms = prior->num_arms();
+          p.noise_variance = prior->noise_variance;
+          p.mean = prior->mean;
+          p.gram = prior->gram.data();
+          state.priors.push_back(std::move(p));
+        }
+        prior_id = it->second;
+        prior_ids.emplace(prior.get(), prior_id);
+      }
+      t.belief.prior_id = prior_id;
+      t.belief.arms = belief->observed_arms();
+      t.belief.rewards = belief->observed_rewards();
+      const linalg::Cholesky& chol = belief->factor();
+      const int dim = chol.dim();
+      t.belief.chol.reserve(static_cast<size_t>(dim) * (dim + 1) / 2);
+      for (int i = 0; i < dim; ++i) {
+        for (int j = 0; j <= i; ++j) t.belief.chol.push_back(chol.At(i, j));
+      }
+    }
+    state.tenants.push_back(std::move(t));
+  }
+  state.best_model = best_model_;
+  state.in_flight.reserve(in_flight_.size());
+  for (const auto& [id, a] : in_flight_) {  // std::map: ascending ids
+    DurableSelectorState::Ticket ticket;
+    ticket.id = id;
+    ticket.tenant = a.tenant;
+    ticket.model = a.model;
+    state.in_flight.push_back(ticket);
+  }
+  state.next_ticket = next_ticket_;
+  state.round = round_;
+  scheduler_->SaveDurable(&state.scheduler_state);
+  if (options_.wal != nullptr) {
+    const DurabilityLog::Position pos = options_.wal->position();
+    state.wal_epoch = pos.epoch;
+    state.wal_offset = pos.offset;
+  }
+  return state;
+}
+
+Status MultiTenantSelector::RestoreDurableState(
+    const DurableSelectorState& state) {
+  if (!users_.empty() || !in_flight_.empty() || next_ticket_ != 0 ||
+      round_ != 0) {
+    return Status::FailedPrecondition(
+        "RestoreDurableState: the engine already has state; restore into a "
+        "freshly created selector");
+  }
+  if (state.best_model.size() != state.tenants.size()) {
+    return Status::DataLoss("restore: best_model/tenants length mismatch");
+  }
+  if (state.next_ticket < 0 || state.round < 0) {
+    return Status::DataLoss("restore: negative ticket/round counter");
+  }
+  // Rebuild the shared priors — each Gram matrix allocated once and shared,
+  // as at registration time.
+  std::vector<std::shared_ptr<const gp::SharedGpPrior>> priors;
+  priors.reserve(state.priors.size());
+  for (const DurablePrior& p : state.priors) {
+    EASEML_ASSIGN_OR_RETURN(
+        linalg::Matrix gram,
+        linalg::Matrix::FromRowMajor(p.num_arms, p.num_arms, p.gram));
+    EASEML_ASSIGN_OR_RETURN(
+        std::shared_ptr<const gp::SharedGpPrior> prior,
+        gp::MakeSharedGpPrior(std::move(gram), p.noise_variance, p.mean));
+    priors.push_back(std::move(prior));
+  }
+  users_.reserve(state.tenants.size());
+  best_model_.reserve(state.tenants.size());
+  for (size_t i = 0; i < state.tenants.size(); ++i) {
+    const DurableTenant& t = state.tenants[i];
+    if (t.user.user_id != static_cast<int>(i)) {
+      return Status::DataLoss("restore: tenant ids must be dense, in order");
+    }
+    const int k = static_cast<int>(t.user.costs.size());
+    if (state.best_model[i] < -1 || state.best_model[i] >= k) {
+      return Status::DataLoss("restore: best model out of range");
+    }
+    std::unique_ptr<bandit::BanditPolicy> policy;
+    if (!t.user.retired) {
+      if (t.belief.prior_id < 0 ||
+          t.belief.prior_id >= static_cast<int>(priors.size())) {
+        return Status::DataLoss("restore: tenant prior id out of range");
+      }
+      EASEML_ASSIGN_OR_RETURN(
+          std::unique_ptr<gp::SharedPriorGp> belief,
+          RebuildBelief(t.belief, priors[t.belief.prior_id]));
+      // Identical policy construction to AddTenantWithBelief, so the
+      // restored tenant's UCB index is bit-identical to the captured one.
+      bandit::GpUcbOptions ucb;
+      ucb.delta = options_.delta;
+      ucb.cost_aware = options_.cost_aware;
+      if (options_.cost_aware) ucb.costs = t.user.costs;
+      EASEML_ASSIGN_OR_RETURN(
+          std::unique_ptr<bandit::GpUcbPolicy> gp_ucb,
+          bandit::GpUcbPolicy::CreateUnique(std::move(belief),
+                                            std::move(ucb)));
+      policy = std::move(gp_ucb);
+    } else if (t.belief.prior_id != -1 || !t.belief.arms.empty() ||
+               !t.belief.rewards.empty() || !t.belief.chol.empty()) {
+      return Status::DataLoss("restore: retired tenant carries belief state");
+    }
+    EASEML_ASSIGN_OR_RETURN(
+        scheduler::UserState user,
+        scheduler::UserState::FromDurable(t.user, std::move(policy)));
+    const bool retired = user.retired();
+    users_.push_back(std::move(user));
+    best_model_.push_back(state.best_model[i]);
+    OnTenantAdded(static_cast<int>(i));
+    if (retired) {
+      // Mirror RemoveTenant's index/placement sequence: the base engine
+      // keeps the (neutral) leaf, the sharded engine unmaps the id.
+      RefreshIndexEntry(static_cast<int>(i));
+      OnTenantRemoved(static_cast<int>(i));
+    }
+  }
+  int64_t prev_id = -1;
+  for (const DurableSelectorState::Ticket& t : state.in_flight) {
+    if (t.id <= prev_id || t.id >= state.next_ticket) {
+      return Status::DataLoss(
+          "restore: in-flight tickets must be strictly ascending and below "
+          "next_ticket");
+    }
+    prev_id = t.id;
+    if (t.tenant < 0 || t.tenant >= static_cast<int>(users_.size()) ||
+        t.model < 0 || t.model >= users_[t.tenant].num_models()) {
+      return Status::DataLoss(
+          "restore: in-flight ticket references an unknown tenant or model");
+    }
+    if (!users_[t.tenant].InFlight(t.model)) {
+      return Status::DataLoss(
+          "restore: in-flight ticket for an arm the tenant has not charged");
+    }
+    Assignment a;
+    a.tenant = t.tenant;
+    a.model = t.model;
+    a.id = t.id;
+    in_flight_.emplace(a.id, a);
+  }
+  // Tickets and per-arm charges must agree 1:1 — a duplicate ticket for
+  // the same arm passes the mask check above but fails the count here.
+  std::vector<int> charged(users_.size(), 0);
+  for (const auto& [id, a] : in_flight_) ++charged[a.tenant];
+  for (size_t i = 0; i < users_.size(); ++i) {
+    if (charged[i] != users_[i].in_flight_count()) {
+      return Status::DataLoss(
+          "restore: in-flight table disagrees with tenant charge counts");
+    }
+  }
+  next_ticket_ = state.next_ticket;
+  round_ = state.round;
+  std::string_view sched = state.scheduler_state;
+  EASEML_RETURN_NOT_OK(scheduler_->LoadDurable(&sched));
+  if (!sched.empty()) {
+    return Status::DataLoss(
+        "restore: trailing bytes after the scheduler state blob");
+  }
+  return Status::OK();
 }
 
 }  // namespace easeml::core

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/durability_log.h"
+#include "core/durable_state.h"
 #include "core/selector_observer.h"
 #include "gp/gaussian_process.h"
 #include "gp/shared_prior_gp.h"
@@ -78,6 +80,20 @@ struct SelectorOptions {
   /// this pointer. When null (the default) every hook site is a single
   /// branch and the serving path is byte-for-byte the unobserved one.
   SelectorObserver* observer = nullptr;
+
+  /// Durability seam (core/durability_log.h), or nullptr for none. Not
+  /// owned; must outlive the selector. When set, every successful mutation
+  /// appends one record under the engine's synchronization (log order =
+  /// validation order) and the acknowledged mutations (AddTenant,
+  /// RemoveTenant, Report, Cancel) sync before returning; `Next` appends
+  /// without syncing (see DurabilityLog's ack-discipline comment). A WAL
+  /// write failure fail-stops the selector: the error is latched and every
+  /// further mutation is refused, because in-memory state may be ahead of
+  /// the log. When null (the default) every hook is one branch — same
+  /// zero-cost discipline as `observer`. The durable path requires the
+  /// shared-prior belief representation: `AddTenant(DiscreteArmGp, ...)`
+  /// is Unimplemented while a WAL is attached.
+  DurabilityLog* wal = nullptr;
 };
 
 /// Builds the scheduler policy `options` selects (nullptr for an unknown
@@ -271,6 +287,24 @@ class MultiTenantSelector {
   /// rebalances cannot silently desynchronize the two.
   virtual Status ValidateIndex() const;
 
+  /// Serializes the COMPLETE engine state (priors deduplicated by
+  /// identity, per-tenant user + compact belief state, in-flight table,
+  /// ticket/round counters, scheduler blob, WAL position) for a
+  /// checkpoint. Requires every tenant to run the shared-prior belief
+  /// (Unimplemented otherwise — the dense representation is rejected at
+  /// AddTenant when a WAL is attached). The sharded override locks and
+  /// drains the fold pipeline first, so the capture is quiesced.
+  virtual Result<DurableSelectorState> CaptureDurableState() const;
+
+  /// Restores a captured state into THIS engine, which must be freshly
+  /// created with equivalent options (same scheduler kind, delta,
+  /// cost-awareness, device count — configuration is not stored).
+  /// Beliefs are rebuilt by replaying the observation history
+  /// (bit-identical by determinism) and verified bit-for-bit against the
+  /// stored Cholesky factor; DataLoss on any mismatch. FailedPrecondition
+  /// when the engine already has state.
+  virtual Status RestoreDurableState(const DurableSelectorState& state);
+
  protected:
   MultiTenantSelector(const SelectorOptions& options,
                       std::unique_ptr<scheduler::SchedulerPolicy> s)
@@ -392,6 +426,27 @@ class MultiTenantSelector {
   /// tests to compare a snapshot against live engine state).
   TenantObservation DeriveObservation(int tenant) const;
 
+  // --- Durability seam ----------------------------------------------------
+  //
+  // Mirrors the observer seam: one branch when no WAL is configured. The
+  // engines append AFTER applying (log order = validation order, and only
+  // successful mutations are logged, so replay must succeed), and latch
+  // the first WAL error — the selector fail-stops rather than let its
+  // in-memory state silently outrun what recovery can reproduce.
+
+  /// The configured durability log, or nullptr (the common case).
+  DurabilityLog* wal() const { return options_.wal; }
+
+  /// Fail-fast check every mutation runs first: OK without a WAL or while
+  /// it is healthy, FailedPrecondition once a WAL write failed.
+  Status WalGuard() const;
+
+  /// Latches the first WAL error (and returns `status` unchanged).
+  Status WalApply(Status status);
+
+  /// Syncs the WAL (no-op without one), latching failure.
+  Status SyncWal();
+
   const SelectorOptions& options() const { return options_; }
   std::vector<scheduler::UserState>& users() { return users_; }
   const std::vector<scheduler::UserState>& users() const { return users_; }
@@ -420,6 +475,10 @@ class MultiTenantSelector {
   std::map<int64_t, Assignment> in_flight_;
   int64_t next_ticket_ = 0;
   int round_ = 0;
+  /// First WAL append/sync error, latched forever (fail-stop). Guarded by
+  /// the engine's synchronization like every other engine field: all WAL
+  /// calls, including Sync, run under it.
+  Status wal_status_;
 };
 
 }  // namespace easeml::core

@@ -86,6 +86,14 @@ class SharedPriorGp : public ArmBelief {
   const std::vector<int>& observed_arms() const { return arms_; }
   const std::vector<double>& observed_rewards() const { return ys_; }
 
+  /// The growing t x t Cholesky factor. Checkpoints serialize it as a
+  /// bit-exact integrity witness: recovery replays the observation history
+  /// (Cholesky::Append is deterministic, so the replayed factor is
+  /// bit-identical) and fails with DataLoss when the stored factor
+  /// disagrees — corruption that survived the CRC cannot silently skew a
+  /// posterior.
+  const linalg::Cholesky& factor() const { return chol_; }
+
  private:
   explicit SharedPriorGp(std::shared_ptr<const SharedGpPrior> prior);
 

@@ -25,6 +25,20 @@ Result<EaseMlService> EaseMlService::Create(const Options& options) {
   return EaseMlService(options, std::move(selector));
 }
 
+Result<EaseMlService> EaseMlService::CreateWithSelector(
+    const Options& options,
+    std::unique_ptr<core::MultiTenantSelector> selector) {
+  if (options.noisy_label_fraction < 0.0 ||
+      options.noisy_label_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "EaseMlService: noisy_label_fraction out of [0,1]");
+  }
+  if (selector == nullptr) {
+    return Status::InvalidArgument("CreateWithSelector: null selector");
+  }
+  return EaseMlService(options, std::move(selector));
+}
+
 Result<int> EaseMlService::SubmitJob(const std::string& program_text,
                                      double dynamic_range) {
   if (dynamic_range < 1.0) {

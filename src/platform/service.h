@@ -78,6 +78,18 @@ class EaseMlService {
 
   static Result<EaseMlService> Create(const Options& options);
 
+  /// Recovery startup path: builds the service around an engine someone
+  /// else constructed — in practice `wal::OpenOrRecover`'s replayed
+  /// selector (with `options.selector.wal` pointing at its resumed WAL, so
+  /// the service keeps appending where the recovered history stops).
+  /// `selector` must be non-null and already configured consistently with
+  /// `options.selector`; job/task bookkeeping starts empty either way (the
+  /// WAL logs SELECTOR events — resubmit jobs to rebind them to their
+  /// recovered tenants in submission order, which is deterministic).
+  static Result<EaseMlService> CreateWithSelector(
+      const Options& options,
+      std::unique_ptr<core::MultiTenantSelector> selector);
+
   /// Submits a declarative job. `program_text` is the Figure-2 DSL;
   /// `dynamic_range` describes the user's raw input range (inputs wider
   /// than image-like data get normalization candidates, Section 2.1).

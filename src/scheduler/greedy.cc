@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/exact_sum.h"
 #include "common/reduction_tree.h"
 #include "scheduler/candidate_index.h"
@@ -351,6 +352,17 @@ Result<int> GreedyScheduler::PickUserIndexed(const std::vector<UserState>& users
     return Status::Internal("Greedy: empty candidate set in index");
   }
   return min_candidate;
+}
+
+
+void GreedyScheduler::SaveDurable(std::string* out) const {
+  PutString(out, rng_.SaveState());
+}
+
+Status GreedyScheduler::LoadDurable(std::string_view* in) {
+  std::string state;
+  EASEML_RETURN_NOT_OK(GetString(in, &state));
+  return rng_.LoadState(state);
 }
 
 }  // namespace easeml::scheduler

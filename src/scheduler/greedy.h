@@ -69,6 +69,11 @@ class GreedyScheduler : public SchedulerPolicy {
   bool RequiresInitialSweep() const override { return true; }
   std::string name() const override { return "greedy"; }
 
+  /// The RNG stream (consumed only by the random line-8 rule, but saved
+  /// unconditionally: state, not configuration, decides what is durable).
+  void SaveDurable(std::string* out) const override;
+  Status LoadDurable(std::string_view* in) override;
+
   Line8Rule rule() const { return rule_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "scheduler/hybrid.h"
 
+#include "common/binary_io.h"
+
 namespace easeml::scheduler {
 
 namespace {
@@ -45,6 +47,31 @@ void HybridScheduler::OnOutcome(const std::vector<UserState>& users,
   last_total_best_ = total_best;
   have_snapshot_ = true;
   if (frozen_steps_ >= patience_) switched_ = true;
+}
+
+
+void HybridScheduler::SaveDurable(std::string* out) const {
+  PutU8(out, switched_ ? 1 : 0);
+  PutI32(out, frozen_steps_);
+  PutU8(out, have_snapshot_ ? 1 : 0);
+  PutI32Vec(out, last_candidates_);
+  PutDouble(out, last_total_best_);
+  greedy_.SaveDurable(out);
+  round_robin_.SaveDurable(out);
+}
+
+Status HybridScheduler::LoadDurable(std::string_view* in) {
+  uint8_t switched = 0;
+  uint8_t have_snapshot = 0;
+  EASEML_RETURN_NOT_OK(GetU8(in, &switched));
+  EASEML_RETURN_NOT_OK(GetI32(in, &frozen_steps_));
+  EASEML_RETURN_NOT_OK(GetU8(in, &have_snapshot));
+  EASEML_RETURN_NOT_OK(GetI32Vec(in, &last_candidates_));
+  EASEML_RETURN_NOT_OK(GetDouble(in, &last_total_best_));
+  switched_ = (switched != 0);
+  have_snapshot_ = (have_snapshot != 0);
+  EASEML_RETURN_NOT_OK(greedy_.LoadDurable(in));
+  return round_robin_.LoadDurable(in);
 }
 
 }  // namespace easeml::scheduler

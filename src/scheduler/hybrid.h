@@ -45,6 +45,10 @@ class HybridScheduler : public SchedulerPolicy {
   bool RequiresInitialSweep() const override { return true; }
   std::string name() const override { return "hybrid"; }
 
+  /// Freeze-detector state + both phases' nested policy state.
+  void SaveDurable(std::string* out) const override;
+  Status LoadDurable(std::string_view* in) override;
+
   /// True once the freeze detector has fired and scheduling is round-robin.
   bool switched() const { return switched_; }
 

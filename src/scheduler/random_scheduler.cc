@@ -4,6 +4,7 @@
 #include <iterator>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/reduction_tree.h"
 #include "scheduler/candidate_index.h"
 
@@ -79,6 +80,17 @@ Result<int> RandomScheduler::PickUserIndexed(
     }
   }
   return lo;
+}
+
+
+void RandomScheduler::SaveDurable(std::string* out) const {
+  PutString(out, rng_.SaveState());
+}
+
+Status RandomScheduler::LoadDurable(std::string_view* in) {
+  std::string state;
+  EASEML_RETURN_NOT_OK(GetString(in, &state));
+  return rng_.LoadState(state);
 }
 
 }  // namespace easeml::scheduler

@@ -24,6 +24,9 @@ class RandomScheduler : public SchedulerPolicy {
                               const CandidateIndex& index) override;
   std::string name() const override { return "random"; }
 
+  void SaveDurable(std::string* out) const override;
+  Status LoadDurable(std::string_view* in) override;
+
  private:
   Rng rng_;
 };

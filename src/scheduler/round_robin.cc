@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/reduction_tree.h"
 #include "scheduler/candidate_index.h"
 
@@ -78,6 +79,15 @@ Result<int> RoundRobinScheduler::PickUserIndexed(
   }
   cursor_ = (winner.second + 1) % n;  // same cursor advance as PickUser
   return winner.second;
+}
+
+
+void RoundRobinScheduler::SaveDurable(std::string* out) const {
+  PutI32(out, cursor_);
+}
+
+Status RoundRobinScheduler::LoadDurable(std::string_view* in) {
+  return GetI32(in, &cursor_);
 }
 
 }  // namespace easeml::scheduler

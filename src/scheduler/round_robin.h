@@ -22,6 +22,9 @@ class RoundRobinScheduler : public SchedulerPolicy {
                               const CandidateIndex& index) override;
   std::string name() const override { return "round-robin"; }
 
+  void SaveDurable(std::string* out) const override;
+  Status LoadDurable(std::string_view* in) override;
+
  private:
   int cursor_ = 0;  // next user position to try
 };

@@ -103,6 +103,20 @@ class SchedulerPolicy {
 
   virtual std::string name() const = 0;
 
+  /// Appends the policy's complete mutable state (cursors, RNG streams,
+  /// freeze detectors — everything not derivable from construction
+  /// options) to `out` in the binary_io encoding. Stateless policies keep
+  /// the default no-op. Checkpoint recovery calls `LoadDurable` on a
+  /// policy built from the SAME options, so configuration is never stored.
+  virtual void SaveDurable(std::string* out) const { (void)out; }
+
+  /// Consumes exactly what `SaveDurable` appended from the front of `in`,
+  /// restoring the mutable state bit-exactly. DataLoss on malformed input.
+  virtual Status LoadDurable(std::string_view* in) {
+    (void)in;
+    return Status::OK();
+  }
+
  protected:
   /// Indices of users a scheduler may serve now (see
   /// UserState::Schedulable).

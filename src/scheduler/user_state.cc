@@ -120,6 +120,64 @@ Status UserState::CancelSelection(int arm) {
   return Status::OK();
 }
 
+DurableUserState UserState::CaptureDurable() const {
+  DurableUserState d;
+  d.user_id = user_id_;
+  d.costs = costs_;
+  d.played = played_;
+  d.num_played = num_played_;
+  d.rounds_served = rounds_served_;
+  d.in_flight = in_flight_;
+  d.in_flight_ucb = in_flight_ucb_;
+  d.num_in_flight = num_in_flight_;
+  d.max_in_flight = max_in_flight_;
+  d.retired = retired_;
+  d.best_reward = best_reward_;
+  d.last_reward = last_reward_;
+  d.empirical_bound = empirical_bound_;
+  d.min_empirical_ucb = min_empirical_ucb_;
+  d.consumed_cost = consumed_cost_;
+  return d;
+}
+
+Result<UserState> UserState::FromDurable(
+    const DurableUserState& d, std::unique_ptr<bandit::BanditPolicy> policy) {
+  if (d.retired != (policy == nullptr)) {
+    return Status::InvalidArgument(
+        "UserState::FromDurable: policy must be absent exactly for retired "
+        "tenants");
+  }
+  const size_t k = d.costs.size();
+  if (d.played.size() != k || d.in_flight.size() != k ||
+      d.in_flight_ucb.size() != k) {
+    return Status::DataLoss(
+        "UserState::FromDurable: per-arm vectors disagree on arm count");
+  }
+  if (policy != nullptr && static_cast<size_t>(policy->num_arms()) != k) {
+    return Status::DataLoss(
+        "UserState::FromDurable: policy arm count does not match costs");
+  }
+  if (d.num_played < 0 || d.num_in_flight < 0 || d.max_in_flight < 1 ||
+      d.num_played + d.num_in_flight > static_cast<int>(k)) {
+    return Status::DataLoss("UserState::FromDurable: counters out of range");
+  }
+  UserState state(d.user_id, std::move(policy), d.costs);
+  state.played_ = d.played;
+  state.num_played_ = d.num_played;
+  state.rounds_served_ = d.rounds_served;
+  state.in_flight_ = d.in_flight;
+  state.in_flight_ucb_ = d.in_flight_ucb;
+  state.num_in_flight_ = d.num_in_flight;
+  state.max_in_flight_ = d.max_in_flight;
+  state.retired_ = d.retired;
+  state.best_reward_ = d.best_reward;
+  state.last_reward_ = d.last_reward;
+  state.empirical_bound_ = d.empirical_bound;
+  state.min_empirical_ucb_ = d.min_empirical_ucb;
+  state.consumed_cost_ = d.consumed_cost;
+  return state;
+}
+
 double UserState::MaxUcb() const {
   const std::vector<int> remaining = AvailableArms();
   if (remaining.empty()) return -std::numeric_limits<double>::infinity();

@@ -11,6 +11,30 @@
 
 namespace easeml::scheduler {
 
+/// Bit-exact serializable copy of a `UserState` MINUS the policy (the
+/// belief is checkpointed separately: its observation history replays
+/// bit-identically, so only history + verification factor are stored).
+/// All doubles round-trip through their IEEE-754 bit patterns
+/// (common/binary_io.h), so Capture/FromDurable is an exact state copy —
+/// the invariant the WAL recovery battery compares engines with.
+struct DurableUserState {
+  int user_id = 0;
+  std::vector<double> costs;
+  std::vector<bool> played;
+  int num_played = 0;
+  int rounds_served = 0;
+  std::vector<bool> in_flight;
+  std::vector<double> in_flight_ucb;
+  int num_in_flight = 0;
+  int max_in_flight = 1;
+  bool retired = false;
+  double best_reward = 0.0;
+  double last_reward = 0.0;
+  double empirical_bound = 0.0;
+  double min_empirical_ucb = 0.0;
+  double consumed_cost = 0.0;
+};
+
 /// Per-tenant runtime state of the multi-tenant selection loop.
 ///
 /// Wraps the tenant's model-picking policy (usually GP-UCB) and keeps the
@@ -151,6 +175,17 @@ class UserState {
   const bandit::BanditPolicy& policy() const { return *policy_; }
 
   double ArmCost(int arm) const { return costs_[arm]; }
+
+  /// Copies every field (except the policy) into its durable twin.
+  DurableUserState CaptureDurable() const;
+
+  /// Rebuilds a UserState from a durable copy plus a freshly reconstructed
+  /// policy. `policy` must be null iff `d.retired` (retiring releases the
+  /// belief); sizes must be mutually consistent. Unlike `Create` this
+  /// restores the full mid-campaign state verbatim — played masks,
+  /// in-flight charges with their captured B_t, the sigma~ recurrence.
+  static Result<UserState> FromDurable(const DurableUserState& d,
+                                       std::unique_ptr<bandit::BanditPolicy> policy);
 
  private:
   UserState(int user_id, std::unique_ptr<bandit::BanditPolicy> policy,

@@ -236,8 +236,12 @@ Status ShardedMultiTenantSelector::Report(const Assignment& assignment,
     if (!scheduler_observes_outcomes_) {
       // Stateless-OnOutcome policies: sequence the scheduler now and
       // return with the fold still queued. Readers quiesce on entry, so
-      // nothing can observe the tenant pre-fold.
+      // nothing can observe the tenant pre-fold. The sync runs under mu_
+      // like every WAL call (the record was appended in BeginReport, so
+      // one write covers the whole group) — the fold itself carries no
+      // durability obligation and keeps running on the worker.
       FinishReport(tenant);
+      EASEML_RETURN_NOT_OK(SyncWal());
       if (obs != nullptr) obs->OnReport((ThreadCpuSeconds() - c0) * 1e6);
       return Status::OK();
     }
@@ -252,6 +256,7 @@ Status ShardedMultiTenantSelector::Report(const Assignment& assignment,
   MutexLock lock(mu_);
   DrainFolds();
   FinishReport(tenant);
+  EASEML_RETURN_NOT_OK(SyncWal());
   if (obs != nullptr) obs->OnReport((ThreadCpuSeconds() - c0) * 1e6);
   return Status::OK();
 }
@@ -286,7 +291,7 @@ Status ShardedMultiTenantSelector::Cancel(const Assignment& assignment) {
   EASEML_CHECK(queued) << "shard: report queue rejected a validated cancel "
                           "(pool shut down under a live selector)";
   if (obs != nullptr) obs->OnFoldQueued(owner);
-  return Status::OK();
+  return SyncWal();
 }
 
 Result<core::MultiTenantSelector::Assignment>
@@ -332,6 +337,20 @@ Status ShardedMultiTenantSelector::ValidateIndex() const {
     }
   }
   return core::MultiTenantSelector::ValidateIndex();
+}
+
+Result<core::DurableSelectorState>
+ShardedMultiTenantSelector::CaptureDurableState() const {
+  MutexLock lock(mu_);
+  DrainFolds();  // the capture must see every acknowledged fold applied
+  return core::MultiTenantSelector::CaptureDurableState();
+}
+
+Status ShardedMultiTenantSelector::RestoreDurableState(
+    const core::DurableSelectorState& state) {
+  MutexLock lock(mu_);
+  DrainFolds();
+  return core::MultiTenantSelector::RestoreDurableState(state);
 }
 
 std::vector<int> ShardedMultiTenantSelector::ShardSizes() const {

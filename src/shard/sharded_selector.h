@@ -117,6 +117,13 @@ class ShardedMultiTenantSelector final : public core::MultiTenantSelector,
   /// the stress battery; OK when the index is disabled.
   Status ValidateIndex() const override;
 
+  /// Thread-safe durable-state capture/restore (see the base class): both
+  /// lock the coordinator and drain the fold pipeline first, so a capture
+  /// is quiesced (every acknowledged fold applied) and a restore never
+  /// races a worker.
+  Result<core::DurableSelectorState> CaptureDurableState() const override;
+  Status RestoreDurableState(const core::DurableSelectorState& state) override;
+
   /// Cumulative per-shard-worker CPU seconds spent in scan and fold
   /// closures. Max over shards tracks the parallel critical path even when
   /// the host has fewer cores than shards (see ShardPool). Locks and

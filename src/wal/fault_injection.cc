@@ -1,0 +1,217 @@
+#include "wal/fault_injection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace easeml::wal {
+
+/// Handle into the fault-injecting filesystem: all state lives in the
+/// filesystem map (so Crash/Flip scripts and reads observe the same
+/// bytes), the handle only names the path. Namespace-scope (not
+/// anonymous) so the filesystem's friend declaration matches.
+class FaultInjectingFile final : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultInjectingFileSystem* fs_;
+  std::string path_;
+};
+
+Status FaultInjectingFileSystem::ChargeOp() {
+  ++ops_;
+  if (fail_after_ops_ >= 0) {
+    if (fail_after_ops_ == 0) {
+      return Status::Unavailable(
+          "fault injection: scripted crash point reached — the process is "
+          "considered dead from here");
+    }
+    --fail_after_ops_;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::AppendLocked(const std::string& path,
+                                              std::string_view data) {
+  EASEML_RETURN_NOT_OK(ChargeOp());
+  FileState& f = files_[path];
+  if (short_write_keep_ >= 0) {
+    const uint64_t keep = std::min<uint64_t>(
+        static_cast<uint64_t>(short_write_keep_), data.size());
+    short_write_keep_ = -1;
+    f.data.append(data.data(), keep);
+    return Status::Unavailable(
+        "fault injection: short write (" + std::to_string(keep) + " of " +
+        std::to_string(data.size()) + " bytes persisted)");
+  }
+  f.data.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::SyncLocked(const std::string& path) {
+  EASEML_RETURN_NOT_OK(ChargeOp());
+  if (fail_syncs_) {
+    return Status::Unavailable("fault injection: sync failure");
+  }
+  FileState& f = files_[path];
+  f.durable_size = f.data.size();
+  return Status::OK();
+}
+
+Status FaultInjectingFile::Append(std::string_view data) {
+  MutexLock lock(fs_->mu_);
+  return fs_->AppendLocked(path_, data);
+}
+
+Status FaultInjectingFile::Sync() {
+  MutexLock lock(fs_->mu_);
+  return fs_->SyncLocked(path_);
+}
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectingFileSystem::OpenAppendable(const std::string& path) {
+  {
+    MutexLock lock(mu_);
+    files_[path];  // create when absent, like O_CREAT
+  }
+  return std::unique_ptr<WritableFile>(new FaultInjectingFile(this, path));
+}
+
+Result<std::string> FaultInjectingFileSystem::ReadFile(
+    const std::string& path) {
+  MutexLock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.data;
+}
+
+Result<bool> FaultInjectingFileSystem::Exists(const std::string& path) {
+  MutexLock lock(mu_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Status FaultInjectingFileSystem::Truncate(const std::string& path,
+                                          uint64_t size) {
+  MutexLock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  FileState& f = it->second;
+  if (size > f.data.size()) {
+    return Status::InvalidArgument("Truncate: size beyond end of " + path);
+  }
+  f.data.resize(size);
+  f.durable_size = std::min<uint64_t>(f.durable_size, size);
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  MutexLock lock(mu_);
+  const auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  FileState moved = std::move(it->second);
+  files_.erase(it);
+  // Modeled atomic and durable (see the class comment): the replaced
+  // content is durable as one unit.
+  moved.durable_size = moved.data.size();
+  files_[to] = std::move(moved);
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::Delete(const std::string& path) {
+  MutexLock lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::CreateDir(const std::string& path) {
+  MutexLock lock(mu_);
+  dirs_[path] = true;
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::SyncDir(const std::string& dir) {
+  (void)dir;
+  return Status::OK();
+}
+
+void FaultInjectingFileSystem::ArmFailAfterOps(int64_t n) {
+  MutexLock lock(mu_);
+  fail_after_ops_ = n;
+}
+
+int64_t FaultInjectingFileSystem::ops() const {
+  MutexLock lock(mu_);
+  return ops_;
+}
+
+void FaultInjectingFileSystem::CrashDropPending() {
+  MutexLock lock(mu_);
+  for (auto& [path, f] : files_) f.data.resize(f.durable_size);
+}
+
+void FaultInjectingFileSystem::CrashKeepPendingPrefix(const std::string& path,
+                                                      uint64_t keep) {
+  MutexLock lock(mu_);
+  for (auto& [p, f] : files_) {
+    if (p == path) {
+      const uint64_t kept = std::min<uint64_t>(f.durable_size + keep,
+                                               f.data.size());
+      f.data.resize(kept);
+      f.durable_size = kept;  // the torn bytes DID reach the medium
+    } else {
+      f.data.resize(f.durable_size);
+    }
+  }
+}
+
+Status FaultInjectingFileSystem::FlipDurableBit(const std::string& path,
+                                                uint64_t byte_index,
+                                                int bit) {
+  MutexLock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  FileState& f = it->second;
+  if (byte_index >= f.data.size() || bit < 0 || bit > 7) {
+    return Status::InvalidArgument("FlipDurableBit: out of range");
+  }
+  f.data[byte_index] = static_cast<char>(
+      static_cast<unsigned char>(f.data[byte_index]) ^ (1u << bit));
+  f.durable_size = std::max<uint64_t>(f.durable_size, byte_index + 1);
+  return Status::OK();
+}
+
+void FaultInjectingFileSystem::ShortWriteNextAppend(uint64_t keep) {
+  MutexLock lock(mu_);
+  short_write_keep_ = static_cast<int64_t>(keep);
+}
+
+void FaultInjectingFileSystem::FailSyncs(bool fail) {
+  MutexLock lock(mu_);
+  fail_syncs_ = fail;
+}
+
+void FaultInjectingFileSystem::ClearFaults() {
+  MutexLock lock(mu_);
+  fail_after_ops_ = -1;
+  short_write_keep_ = -1;
+  fail_syncs_ = false;
+}
+
+Result<uint64_t> FaultInjectingFileSystem::PendingBytes(
+    const std::string& path) const {
+  MutexLock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(it->second.data.size()) -
+         it->second.durable_size;
+}
+
+}  // namespace easeml::wal

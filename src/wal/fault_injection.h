@@ -1,0 +1,109 @@
+#ifndef EASEML_WAL_FAULT_INJECTION_H_
+#define EASEML_WAL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "wal/file.h"
+
+namespace easeml::wal {
+
+/// In-memory filesystem with scripted faults — the crash harness the
+/// kill-and-recover battery drives the durability stack through.
+///
+/// Failure model: every file tracks its VISIBLE bytes (what reads and the
+/// running process observe — the page cache) and its DURABLE size (the
+/// prefix guaranteed to survive a crash — what fsync has pinned). `Append`
+/// extends the visible bytes; `WritableFile::Sync` advances the durable
+/// size to the visible end; a scripted crash rolls every file back to its
+/// durable prefix, exactly the contract POSIX fsync gives over power loss.
+/// Appends are strictly sequential, so the unsynced region is always a
+/// suffix.
+///
+/// Scripted faults (all methods are thread-safe):
+///   - `ArmFailAfterOps(n)`: the next n mutating operations (Append/Sync)
+///     succeed, every later one fails with Unavailable — a fail-stop crash
+///     point. Sweeping n across a workload visits every op boundary.
+///   - `CrashDropPending()`: power loss — visible state rolls back to the
+///     durable prefix everywhere.
+///   - `CrashKeepPendingPrefix(path, n)`: torn write — `path` keeps n bytes
+///     of its unsynced suffix (they become durable mid-record), every other
+///     file drops its pending bytes.
+///   - `FlipDurableBit(path, byte, bit)`: silent medium corruption.
+///   - `ShortWriteNextAppend(keep)`: the next Append persists only its
+///     first `keep` bytes, then fails.
+///   - `FailSyncs(true)`: syncs fail (device error) without losing data.
+///
+/// Renames are modeled atomic and immediately durable (the checkpoint
+/// commit relies on atomicity; directory-entry durability is POSIX noise
+/// the battery does not script).
+class FaultInjectingFileSystem final : public FileSystem {
+ public:
+  FaultInjectingFileSystem() = default;
+
+  // --- FileSystem -----------------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> OpenAppendable(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<bool> Exists(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Delete(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+  // --- Fault script ---------------------------------------------------------
+
+  /// After `n` more successful mutating ops, every Append/Sync fails.
+  /// Negative disarms.
+  void ArmFailAfterOps(int64_t n);
+
+  /// Count of mutating ops (Appends + Syncs) performed so far — the
+  /// battery measures a workload once, then sweeps crash points over the
+  /// observed count.
+  int64_t ops() const;
+
+  void CrashDropPending();
+  void CrashKeepPendingPrefix(const std::string& path, uint64_t keep);
+  Status FlipDurableBit(const std::string& path, uint64_t byte_index,
+                        int bit);
+  void ShortWriteNextAppend(uint64_t keep);
+  void FailSyncs(bool fail);
+
+  /// Clears every armed fault (crash effects already applied persist).
+  void ClearFaults();
+
+  /// Unsynced byte count of `path` (0 when absent) — test assertions.
+  Result<uint64_t> PendingBytes(const std::string& path) const;
+
+ private:
+  friend class FaultInjectingFile;
+
+  struct FileState {
+    std::string data;           // visible bytes (page cache view)
+    uint64_t durable_size = 0;  // crash-surviving prefix length
+  };
+
+  /// Charges one mutating op against the fail-after script. Returns the
+  /// injected failure once the budget is spent.
+  Status ChargeOp() EASEML_REQUIRES(mu_);
+
+  Status AppendLocked(const std::string& path, std::string_view data)
+      EASEML_REQUIRES(mu_);
+  Status SyncLocked(const std::string& path) EASEML_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, FileState> files_ EASEML_GUARDED_BY(mu_);
+  std::map<std::string, bool> dirs_ EASEML_GUARDED_BY(mu_);
+  int64_t ops_ EASEML_GUARDED_BY(mu_) = 0;
+  int64_t fail_after_ops_ EASEML_GUARDED_BY(mu_) = -1;  // -1 = disarmed
+  int64_t short_write_keep_ EASEML_GUARDED_BY(mu_) = -1;
+  bool fail_syncs_ EASEML_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace easeml::wal
+
+#endif  // EASEML_WAL_FAULT_INJECTION_H_

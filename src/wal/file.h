@@ -1,0 +1,68 @@
+#ifndef EASEML_WAL_FILE_H_
+#define EASEML_WAL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace easeml::wal {
+
+/// Append-only file handle of the durability layer. `Append` buffers in
+/// the OS (or the test double's pending set); `Sync` makes everything
+/// appended so far durable against the failure model the filesystem
+/// implements (power loss for POSIX fsync, scripted crashes for the fault
+/// injector).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Minimal filesystem seam of the durability layer. `PosixFileSystem` is
+/// the production implementation and the ONLY raw-I/O site in the tree
+/// (easeml_lint rule `raw-file-io` keeps it that way);
+/// `FaultInjectingFileSystem` is the in-memory double the kill-and-recover
+/// battery scripts torn writes, bit flips and crash points through.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it when absent.
+  virtual Result<std::unique_ptr<WritableFile>> OpenAppendable(
+      const std::string& path) = 0;
+
+  /// Reads the whole file. NotFound when absent.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual Result<bool> Exists(const std::string& path) = 0;
+
+  /// Shrinks `path` to `size` bytes (recovery cutting a torn tail).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Atomically replaces `to` with `from` — the checkpoint commit step: a
+  /// crash leaves either the old checkpoint or the new one, never a
+  /// partial file under the final name.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// Creates `path` (OK when it already exists).
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Makes a completed Rename/Delete in `dir` durable (directory fsync).
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The production filesystem (thin POSIX wrappers). Process-wide,
+/// stateless, never deleted.
+FileSystem* GetPosixFileSystem();
+
+}  // namespace easeml::wal
+
+#endif  // EASEML_WAL_FILE_H_

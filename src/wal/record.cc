@@ -1,0 +1,231 @@
+#include "wal/record.h"
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+
+namespace easeml::wal {
+
+std::string RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kPad:
+      return "pad";
+    case RecordType::kRegisterPrior:
+      return "register-prior";
+    case RecordType::kAddTenant:
+      return "add-tenant";
+    case RecordType::kRemoveTenant:
+      return "remove-tenant";
+    case RecordType::kNext:
+      return "next";
+    case RecordType::kReport:
+      return "report";
+    case RecordType::kCancel:
+      return "cancel";
+  }
+  return "invalid";
+}
+
+uint64_t FramedSize(uint64_t body_size) {
+  const uint64_t raw = kRecordHeaderSize + 1 + 8 + body_size;
+  return (raw + kRecordAlignment - 1) / kRecordAlignment * kRecordAlignment;
+}
+
+void AppendRecord(std::string* out, RecordType type, int64_t epoch,
+                  std::string_view body) {
+  // Serving hot path (one call per logged Next/Report): the CRC streams
+  // over the type/epoch prefix and the body instead of materializing the
+  // payload in a temporary — no allocation happens here beyond `out`'s
+  // own growth.
+  char prefix[9];
+  prefix[0] = static_cast<char>(type);
+  const uint64_t e = static_cast<uint64_t>(epoch);
+  for (int i = 0; i < 8; ++i) {
+    prefix[1 + i] = static_cast<char>((e >> (8 * i)) & 0xFF);
+  }
+  const std::string_view prefix_view(prefix, sizeof(prefix));
+  const uint32_t crc = Crc32(body, Crc32(prefix_view));
+  PutU32(out, MaskCrc32(crc));
+  PutU32(out, static_cast<uint32_t>(sizeof(prefix) + body.size()));
+  out->append(prefix, sizeof(prefix));
+  out->append(body.data(), body.size());
+  const uint64_t raw = kRecordHeaderSize + sizeof(prefix) + body.size();
+  out->append(FramedSize(body.size()) - raw, '\0');
+}
+
+Result<LogScan> ScanLog(std::string_view log, int64_t start_offset,
+                        int64_t start_epoch) {
+  if (start_offset < 0 ||
+      static_cast<uint64_t>(start_offset) > log.size() ||
+      start_offset % kRecordAlignment != 0) {
+    return Status::DataLoss(
+        "wal scan: start offset " + std::to_string(start_offset) +
+        " is outside the log or unaligned (log is " +
+        std::to_string(log.size()) + " bytes) — the checkpoint references a "
+        "log this is not");
+  }
+  LogScan scan;
+  scan.last_epoch = start_epoch;
+  uint64_t offset = static_cast<uint64_t>(start_offset);
+  const auto stop = [&](std::string reason) {
+    scan.valid_bytes = static_cast<int64_t>(offset);
+    scan.truncated = offset < log.size();
+    scan.truncate_reason = std::move(reason);
+    return scan;
+  };
+  while (offset < log.size()) {
+    const uint64_t remaining = log.size() - offset;
+    if (remaining < kRecordHeaderSize + 9) {
+      return stop("short remainder (" + std::to_string(remaining) +
+                  " bytes cannot hold a record)");
+    }
+    std::string_view cursor = log.substr(offset);
+    uint32_t masked_crc = 0;
+    uint32_t len = 0;
+    EASEML_RETURN_NOT_OK(GetU32(&cursor, &masked_crc));
+    EASEML_RETURN_NOT_OK(GetU32(&cursor, &len));
+    if (len < 9 || len > remaining - kRecordHeaderSize) {
+      return stop("implausible payload length " + std::to_string(len));
+    }
+    const std::string_view payload = cursor.substr(0, len);
+    if (Crc32(payload) != UnmaskCrc32(masked_crc)) {
+      return stop("payload CRC mismatch");
+    }
+    std::string_view body = payload;
+    uint8_t type_byte = 0;
+    uint64_t epoch_bits = 0;
+    EASEML_RETURN_NOT_OK(GetU8(&body, &type_byte));
+    EASEML_RETURN_NOT_OK(GetU64(&body, &epoch_bits));
+    if (type_byte > static_cast<uint8_t>(RecordType::kCancel)) {
+      return stop("unknown record type " + std::to_string(type_byte));
+    }
+    const RecordType type = static_cast<RecordType>(type_byte);
+    const int64_t epoch = static_cast<int64_t>(epoch_bits);
+    if (type == RecordType::kPad) {
+      if (epoch != 0) return stop("pad record with nonzero epoch");
+    } else if (epoch != scan.last_epoch + 1) {
+      // The CRC proves the record is intact, so a wrong epoch is not a torn
+      // tail: records are MISSING before this one. Truncation cannot repair
+      // a hole in the middle — refuse rather than replay a divergent
+      // history.
+      return Status::DataLoss(
+          "wal scan: epoch gap at offset " + std::to_string(offset) +
+          " (record carries epoch " + std::to_string(epoch) +
+          " after epoch " + std::to_string(scan.last_epoch) +
+          ") — records are missing; the log cannot be replayed");
+    } else {
+      scan.last_epoch = epoch;
+    }
+    Record record;
+    record.type = type;
+    record.epoch = epoch;
+    record.body = std::string(body);
+    record.offset = static_cast<int64_t>(offset);
+    scan.records.push_back(std::move(record));
+    offset += FramedSize(len - 9);
+  }
+  scan.valid_bytes = static_cast<int64_t>(offset);
+  return scan;
+}
+
+void EncodeDurablePrior(std::string* out, const core::DurablePrior& p) {
+  PutI32(out, p.num_arms);
+  PutDouble(out, p.noise_variance);
+  PutDoubleVec(out, p.mean);
+  PutDoubleVec(out, p.gram);
+}
+
+Status DecodeDurablePrior(std::string_view* in, core::DurablePrior* p) {
+  EASEML_RETURN_NOT_OK(GetI32(in, &p->num_arms));
+  EASEML_RETURN_NOT_OK(GetDouble(in, &p->noise_variance));
+  EASEML_RETURN_NOT_OK(GetDoubleVec(in, &p->mean));
+  EASEML_RETURN_NOT_OK(GetDoubleVec(in, &p->gram));
+  return Status::OK();
+}
+
+namespace {
+
+Status CheckDrained(std::string_view rest, const char* what) {
+  if (!rest.empty()) {
+    return Status::DataLoss(std::string("wal record: trailing bytes after ") +
+                            what + " body");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeRegisterPrior(std::string* out, const RegisterPriorBody& b) {
+  PutI32(out, b.prior_id);
+  EncodeDurablePrior(out, b.prior);
+}
+
+Status DecodeRegisterPrior(std::string_view body, RegisterPriorBody* b) {
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->prior_id));
+  EASEML_RETURN_NOT_OK(DecodeDurablePrior(&body, &b->prior));
+  return CheckDrained(body, "register-prior");
+}
+
+void EncodeAddTenant(std::string* out, const AddTenantBody& b) {
+  PutI32(out, b.tenant);
+  PutI32(out, b.prior_id);
+  PutDoubleVec(out, b.costs);
+}
+
+Status DecodeAddTenant(std::string_view body, AddTenantBody* b) {
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->tenant));
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->prior_id));
+  EASEML_RETURN_NOT_OK(GetDoubleVec(&body, &b->costs));
+  return CheckDrained(body, "add-tenant");
+}
+
+void EncodeRemoveTenant(std::string* out, const RemoveTenantBody& b) {
+  PutI32(out, b.tenant);
+}
+
+Status DecodeRemoveTenant(std::string_view body, RemoveTenantBody* b) {
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->tenant));
+  return CheckDrained(body, "remove-tenant");
+}
+
+void EncodeNext(std::string* out, const NextBody& b) {
+  PutI32(out, b.tenant);
+  PutI32(out, b.model);
+  PutI64(out, b.ticket);
+}
+
+Status DecodeNext(std::string_view body, NextBody* b) {
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->tenant));
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->model));
+  EASEML_RETURN_NOT_OK(GetI64(&body, &b->ticket));
+  return CheckDrained(body, "next");
+}
+
+void EncodeReport(std::string* out, const ReportBody& b) {
+  PutI64(out, b.ticket);
+  PutI32(out, b.tenant);
+  PutI32(out, b.model);
+  PutDouble(out, b.accuracy);
+}
+
+Status DecodeReport(std::string_view body, ReportBody* b) {
+  EASEML_RETURN_NOT_OK(GetI64(&body, &b->ticket));
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->tenant));
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->model));
+  EASEML_RETURN_NOT_OK(GetDouble(&body, &b->accuracy));
+  return CheckDrained(body, "report");
+}
+
+void EncodeCancel(std::string* out, const CancelBody& b) {
+  PutI64(out, b.ticket);
+  PutI32(out, b.tenant);
+  PutI32(out, b.model);
+}
+
+Status DecodeCancel(std::string_view body, CancelBody* b) {
+  EASEML_RETURN_NOT_OK(GetI64(&body, &b->ticket));
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->tenant));
+  EASEML_RETURN_NOT_OK(GetI32(&body, &b->model));
+  return CheckDrained(body, "cancel");
+}
+
+}  // namespace easeml::wal

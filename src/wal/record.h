@@ -1,0 +1,146 @@
+#ifndef EASEML_WAL_RECORD_H_
+#define EASEML_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/durable_state.h"
+
+namespace easeml::wal {
+
+/// Record framing of the selector write-ahead log.
+///
+/// A record occupies
+///
+///   [u32 masked CRC32][u32 len][payload: u8 type, u64 epoch LE, body]
+///
+/// followed by zero padding to the next 8-byte boundary, so every record
+/// starts aligned. `len` is the payload length; the CRC covers exactly the
+/// payload and is stored masked (common/crc32.h) because payloads of later
+/// formats may themselves embed CRCs. Epochs count non-pad records from 1
+/// and must be contiguous: recovery scans until the first record whose CRC,
+/// length, type or epoch is wrong — a bad CRC/length/short remainder is a
+/// torn tail (truncate, keep everything before), while a CRC-VALID record
+/// with a non-contiguous epoch means a hole in the middle of the log and is
+/// unrecoverable DataLoss.
+///
+/// PAD records (type 0, epoch 0, zero body) carry no state and do not
+/// advance the epoch; the writer uses them to seal the log to a 4 KiB block
+/// boundary before a checkpoint cut, so a checkpoint's log offset is both
+/// record- and block-aligned.
+
+constexpr uint64_t kRecordHeaderSize = 8;  // masked CRC + payload length
+constexpr uint64_t kRecordAlignment = 8;
+constexpr uint64_t kWalBlockSize = 4096;
+/// Smallest frame: header + (type, epoch) payload, aligned.
+constexpr uint64_t kMinRecordSize = 24;
+
+enum class RecordType : uint8_t {
+  kPad = 0,
+  kRegisterPrior = 1,
+  kAddTenant = 2,
+  kRemoveTenant = 3,
+  kNext = 4,
+  kReport = 5,
+  kCancel = 6,
+};
+
+/// Human-readable type name ("pad", "add-tenant", ...; "invalid" when out
+/// of range) — waldump and test diagnostics.
+std::string RecordTypeName(RecordType type);
+
+struct Record {
+  RecordType type = RecordType::kPad;
+  int64_t epoch = 0;
+  std::string body;
+  int64_t offset = 0;  // file offset the frame starts at (scanner output)
+};
+
+/// Appends the complete frame (header + payload + alignment padding) for
+/// one record to `out`.
+void AppendRecord(std::string* out, RecordType type, int64_t epoch,
+                  std::string_view body);
+
+/// Frame size `AppendRecord` emits for a `body_size`-byte body.
+uint64_t FramedSize(uint64_t body_size);
+
+/// Scan of a log image from a known-good position.
+struct LogScan {
+  std::vector<Record> records;  // every valid record, pads included
+  int64_t valid_bytes = 0;      // offset of the first torn/corrupt byte
+  int64_t last_epoch = 0;       // epoch of the last non-pad record
+  bool truncated = false;       // a torn tail follows valid_bytes
+  std::string truncate_reason;  // why the scan stopped (diagnostics)
+};
+
+/// Scans `log` from `start_offset`, whose preceding records are summarized
+/// by `start_epoch` (0 when scanning from the beginning). Returns the
+/// valid prefix; DataLoss only for holes that truncation cannot repair
+/// (epoch gap under a valid CRC, start_offset beyond the log).
+Result<LogScan> ScanLog(std::string_view log, int64_t start_offset,
+                        int64_t start_epoch);
+
+// --- Record bodies ----------------------------------------------------------
+//
+// Each Log* call of the durability seam maps to exactly one body below
+// (plus kRegisterPrior once per distinct prior). Decoders consume the
+// whole body and fail with DataLoss on trailing bytes — inside a CRC-valid
+// record a length mismatch means a format bug, not medium corruption.
+
+struct RegisterPriorBody {
+  int prior_id = 0;  // dense registration order, 0-based
+  core::DurablePrior prior;
+};
+
+struct AddTenantBody {
+  int tenant = 0;
+  int prior_id = 0;
+  std::vector<double> costs;
+};
+
+struct RemoveTenantBody {
+  int tenant = 0;
+};
+
+struct NextBody {
+  int tenant = 0;
+  int model = 0;
+  int64_t ticket = 0;
+};
+
+struct ReportBody {
+  int64_t ticket = 0;
+  int tenant = 0;
+  int model = 0;
+  double accuracy = 0.0;
+};
+
+struct CancelBody {
+  int64_t ticket = 0;
+  int tenant = 0;
+  int model = 0;
+};
+
+void EncodeRegisterPrior(std::string* out, const RegisterPriorBody& b);
+Status DecodeRegisterPrior(std::string_view body, RegisterPriorBody* b);
+void EncodeAddTenant(std::string* out, const AddTenantBody& b);
+Status DecodeAddTenant(std::string_view body, AddTenantBody* b);
+void EncodeRemoveTenant(std::string* out, const RemoveTenantBody& b);
+Status DecodeRemoveTenant(std::string_view body, RemoveTenantBody* b);
+void EncodeNext(std::string* out, const NextBody& b);
+Status DecodeNext(std::string_view body, NextBody* b);
+void EncodeReport(std::string* out, const ReportBody& b);
+Status DecodeReport(std::string_view body, ReportBody* b);
+void EncodeCancel(std::string* out, const CancelBody& b);
+Status DecodeCancel(std::string_view body, CancelBody* b);
+
+/// Shared with the checkpoint format: a prior's full payload.
+void EncodeDurablePrior(std::string* out, const core::DurablePrior& p);
+Status DecodeDurablePrior(std::string_view* in, core::DurablePrior* p);
+
+}  // namespace easeml::wal
+
+#endif  // EASEML_WAL_RECORD_H_

@@ -1,0 +1,335 @@
+#include "wal/selector_wal.h"
+
+#include <utility>
+
+namespace easeml::wal {
+
+SelectorWal::SelectorWal(FileSystem* fs, std::string path,
+                         SelectorWalOptions options, bool suspended)
+    : fs_(fs),
+      path_(std::move(path)),
+      options_(options),
+      suspended_(suspended) {}
+
+Result<std::unique_ptr<SelectorWal>> SelectorWal::Open(
+    FileSystem* fs, const std::string& path, SelectorWalOptions options) {
+  EASEML_ASSIGN_OR_RETURN(const bool exists, fs->Exists(path));
+  if (exists) {
+    EASEML_ASSIGN_OR_RETURN(const std::string contents, fs->ReadFile(path));
+    if (!contents.empty()) {
+      return Status::FailedPrecondition(
+          "SelectorWal::Open: " + path +
+          " already holds " + std::to_string(contents.size()) +
+          " bytes of log; recover through wal::OpenOrRecover instead of "
+          "overwriting history");
+    }
+  }
+  std::unique_ptr<SelectorWal> wal(
+      new SelectorWal(fs, path, options, /*suspended=*/false));
+  EASEML_ASSIGN_OR_RETURN(wal->file_, fs->OpenAppendable(path));
+  return wal;
+}
+
+std::unique_ptr<SelectorWal> SelectorWal::CreateSuspended(
+    FileSystem* fs, const std::string& path, SelectorWalOptions options) {
+  return std::unique_ptr<SelectorWal>(
+      new SelectorWal(fs, path, options, /*suspended=*/true));
+}
+
+Status SelectorWal::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  EASEML_RETURN_NOT_OK(file_->Append(buffer_));
+  buffer_.clear();
+  return Status::OK();
+}
+
+void SelectorWal::DrainPending() {
+  for (const PendingOp& op : pending_) {
+    body_scratch_.clear();
+    switch (op.type) {
+      case RecordType::kRemoveTenant: {
+        RemoveTenantBody b;
+        b.tenant = op.tenant;
+        EncodeRemoveTenant(&body_scratch_, b);
+        break;
+      }
+      case RecordType::kNext: {
+        NextBody b;
+        b.tenant = op.tenant;
+        b.model = op.model;
+        b.ticket = op.ticket;
+        EncodeNext(&body_scratch_, b);
+        break;
+      }
+      case RecordType::kReport: {
+        ReportBody b;
+        b.ticket = op.ticket;
+        b.tenant = op.tenant;
+        b.model = op.model;
+        b.accuracy = op.accuracy;
+        EncodeReport(&body_scratch_, b);
+        break;
+      }
+      case RecordType::kCancel: {
+        CancelBody b;
+        b.ticket = op.ticket;
+        b.tenant = op.tenant;
+        b.model = op.model;
+        EncodeCancel(&body_scratch_, b);
+        break;
+      }
+      default:
+        // QueueOp only ever queues the four hot-path types above.
+        break;
+    }
+    // The epoch was assigned (and last_epoch_/offset_ advanced) at queue
+    // time; framing here must not re-derive it.
+    AppendRecord(&buffer_, op.type, op.epoch, body_scratch_);
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
+Status SelectorWal::QueueOp(const PendingOp& op, uint64_t body_size) {
+  const uint64_t framed = FramedSize(body_size);
+  pending_.push_back(op);
+  pending_bytes_ += framed;
+  last_epoch_ = op.epoch;
+  offset_ += static_cast<int64_t>(framed);
+  // Drain in small batches: kDrainBatchOps slots are ~2.5 KiB, so the
+  // pending array is reused circularly and stays L1-resident — the push
+  // above lands on a warm line instead of walking a fresh one every other
+  // call (the dominant serving-path cost at large fleets). The FILE still
+  // sees one write per flush_threshold crossing; a small drain just moves
+  // bytes into the process buffer.
+  if (pending_.size() >= kDrainBatchOps ||
+      buffer_.size() + pending_bytes_ >= options_.flush_threshold) {
+    DrainPending();
+    if (buffer_.size() >= options_.flush_threshold) return FlushBuffer();
+  }
+  return Status::OK();
+}
+
+Status SelectorWal::AppendFrame(RecordType type, std::string_view body) {
+  DrainPending();
+  const int64_t epoch = type == RecordType::kPad ? 0 : last_epoch_ + 1;
+  AppendRecord(&buffer_, type, epoch, body);
+  if (type != RecordType::kPad) last_epoch_ = epoch;
+  offset_ += static_cast<int64_t>(FramedSize(body.size()));
+  if (buffer_.size() >= options_.flush_threshold) {
+    return FlushBuffer();
+  }
+  return Status::OK();
+}
+
+Status SelectorWal::LogAddTenant(
+    int tenant, const std::shared_ptr<const gp::SharedGpPrior>& prior,
+    const std::vector<double>& costs) {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  if (prior == nullptr) {
+    return Status::InvalidArgument("LogAddTenant: null prior");
+  }
+  auto it = prior_ids_.find(prior.get());
+  if (it == prior_ids_.end()) {
+    // First sighting: register the full prior under the next dense id (its
+    // own record, its own epoch) and pin it so this address can never mean
+    // a different prior later.
+    RegisterPriorBody reg;
+    reg.prior_id = static_cast<int>(priors_.size());
+    reg.prior.num_arms = prior->num_arms();
+    reg.prior.noise_variance = prior->noise_variance;
+    reg.prior.mean = prior->mean;
+    reg.prior.gram = prior->gram.data();
+    std::string body;
+    EncodeRegisterPrior(&body, reg);
+    EASEML_RETURN_NOT_OK(AppendFrame(RecordType::kRegisterPrior, body));
+    it = prior_ids_.emplace(prior.get(), reg.prior_id).first;
+    priors_.push_back(prior);
+  }
+  AddTenantBody add;
+  add.tenant = tenant;
+  add.prior_id = it->second;
+  add.costs = costs;
+  std::string body;
+  EncodeAddTenant(&body, add);
+  return AppendFrame(RecordType::kAddTenant, body);
+}
+
+// Fixed encoded-body sizes of the hot-path records (see Encode* in
+// wal/record.cc): QueueOp needs them to advance the logical offset without
+// serializing anything on the serving path.
+namespace {
+constexpr uint64_t kRemoveTenantBodySize = 4;   // i32 tenant
+constexpr uint64_t kNextBodySize = 16;          // i32 + i32 + i64
+constexpr uint64_t kReportBodySize = 24;        // i64 + i32 + i32 + f64
+constexpr uint64_t kCancelBodySize = 16;        // i64 + i32 + i32
+}  // namespace
+
+Status SelectorWal::LogRemoveTenant(int tenant) {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  PendingOp op{};
+  op.type = RecordType::kRemoveTenant;
+  op.epoch = last_epoch_ + 1;
+  op.tenant = tenant;
+  return QueueOp(op, kRemoveTenantBodySize);
+}
+
+Status SelectorWal::LogNext(int tenant, int model, int64_t ticket) {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  PendingOp op{};
+  op.type = RecordType::kNext;
+  op.epoch = last_epoch_ + 1;
+  op.tenant = tenant;
+  op.model = model;
+  op.ticket = ticket;
+  return QueueOp(op, kNextBodySize);
+}
+
+Status SelectorWal::LogReport(int64_t ticket, int tenant, int model,
+                              double accuracy) {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  PendingOp op{};
+  op.type = RecordType::kReport;
+  op.epoch = last_epoch_ + 1;
+  op.tenant = tenant;
+  op.model = model;
+  op.ticket = ticket;
+  op.accuracy = accuracy;
+  return QueueOp(op, kReportBodySize);
+}
+
+Status SelectorWal::LogCancel(int64_t ticket, int tenant, int model) {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  PendingOp op{};
+  op.type = RecordType::kCancel;
+  op.epoch = last_epoch_ + 1;
+  op.tenant = tenant;
+  op.model = model;
+  op.ticket = ticket;
+  return QueueOp(op, kCancelBodySize);
+}
+
+Status SelectorWal::Sync() {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  if (options_.durability == SelectorWalOptions::Durability::kDeferred) {
+    // Group-commit: the ack rides the threshold flush in AppendFrame.
+    // The buffered tail is the (documented) exposure; nothing to do here.
+    return Status::OK();
+  }
+  // Group-commit fast path: everything acknowledged already covers every
+  // record appended so far AND nothing is buffered (pads carry no epoch
+  // but still need to reach the file).
+  if (buffer_.empty() && pending_.empty() && durable_epoch_ >= last_epoch_) {
+    return Status::OK();
+  }
+  DrainPending();
+  EASEML_RETURN_NOT_OK(FlushBuffer());
+  if (options_.durability == SelectorWalOptions::Durability::kFsync) {
+    EASEML_RETURN_NOT_OK(file_->Sync());
+  }
+  durable_epoch_ = last_epoch_;
+  return Status::OK();
+}
+
+bool SelectorWal::SyncIsDeferred() const {
+  // Immutable configuration — no lock needed, and the engines cache-free
+  // branch on this before every would-be Sync call.
+  return options_.durability == SelectorWalOptions::Durability::kDeferred;
+}
+
+Status SelectorWal::SyncHard() {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  DrainPending();
+  EASEML_RETURN_NOT_OK(FlushBuffer());
+  EASEML_RETURN_NOT_OK(file_->Sync());
+  durable_epoch_ = last_epoch_;
+  return Status::OK();
+}
+
+core::DurabilityLog::Position SelectorWal::position() const {
+  SpinLockGuard lock(mu_);
+  Position pos;
+  pos.epoch = last_epoch_;
+  pos.offset = offset_;
+  return pos;
+}
+
+Status SelectorWal::Resume(
+    int64_t epoch, int64_t offset,
+    std::vector<std::shared_ptr<const gp::SharedGpPrior>> priors) {
+  SpinLockGuard lock(mu_);
+  if (!suspended_) {
+    return Status::FailedPrecondition("Resume: the log is not suspended");
+  }
+  if (epoch < 0 || offset < 0) {
+    return Status::InvalidArgument("Resume: negative epoch or offset");
+  }
+  EASEML_ASSIGN_OR_RETURN(const bool exists, fs_->Exists(path_));
+  if (exists) {
+    EASEML_ASSIGN_OR_RETURN(const std::string contents, fs_->ReadFile(path_));
+    if (static_cast<int64_t>(contents.size()) != offset) {
+      return Status::FailedPrecondition(
+          "Resume: " + path_ + " is " + std::to_string(contents.size()) +
+          " bytes but the recovered position is " + std::to_string(offset) +
+          " — truncate the torn tail before resuming");
+    }
+  } else if (offset != 0) {
+    return Status::FailedPrecondition(
+        "Resume: " + path_ + " is absent but the recovered position is " +
+        std::to_string(offset));
+  }
+  EASEML_ASSIGN_OR_RETURN(file_, fs_->OpenAppendable(path_));
+  last_epoch_ = epoch;
+  durable_epoch_ = epoch;
+  offset_ = offset;
+  prior_ids_.clear();
+  priors_.clear();
+  for (auto& prior : priors) {
+    if (prior == nullptr) {
+      return Status::InvalidArgument("Resume: null prior in registry");
+    }
+    prior_ids_.emplace(prior.get(), static_cast<int>(priors_.size()));
+    priors_.push_back(std::move(prior));
+  }
+  suspended_ = false;
+  return Status::OK();
+}
+
+Status SelectorWal::SealToBlockBoundary() {
+  SpinLockGuard lock(mu_);
+  if (suspended_) return Status::OK();
+  const int64_t gap =
+      static_cast<int64_t>(kWalBlockSize) -
+      offset_ % static_cast<int64_t>(kWalBlockSize);
+  if (gap == static_cast<int64_t>(kWalBlockSize)) return Status::OK();
+  // One PAD record of exactly the gap: total = align8(17 + b) = g when
+  // b = g - 17 (g is 8-aligned because every record keeps the offset so).
+  // Gaps too small for a record (< 24 bytes) pad through the NEXT
+  // boundary instead.
+  const int64_t total =
+      gap >= static_cast<int64_t>(kMinRecordSize)
+          ? gap
+          : gap + static_cast<int64_t>(kWalBlockSize);
+  const std::string body(static_cast<size_t>(total - 17), '\0');
+  return AppendFrame(RecordType::kPad, body);
+}
+
+std::vector<std::shared_ptr<const gp::SharedGpPrior>>
+SelectorWal::RegisteredPriors() const {
+  SpinLockGuard lock(mu_);
+  return priors_;
+}
+
+bool SelectorWal::suspended() const {
+  SpinLockGuard lock(mu_);
+  return suspended_;
+}
+
+}  // namespace easeml::wal

@@ -1,0 +1,199 @@
+#ifndef EASEML_WAL_SELECTOR_WAL_H_
+#define EASEML_WAL_SELECTOR_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/durability_log.h"
+#include "gp/shared_prior_gp.h"
+#include "wal/file.h"
+#include "wal/record.h"
+
+namespace easeml::wal {
+
+struct SelectorWalOptions {
+  /// What a returned Sync() promises.
+  enum class Durability {
+    /// write + fsync: acknowledged mutations survive power loss. The
+    /// default, and what the fault-injection battery runs against.
+    kFsync,
+    /// write only (no fsync): acknowledged mutations survive a process
+    /// crash but not power loss — the classic relaxed mode
+    /// (innodb_flush_log_at_trx_commit=2). Still one write() per ack.
+    kBuffered,
+    /// Group-commit: acks return from the process buffer and the buffer
+    /// reaches the file only at the flush threshold (and at
+    /// seal/checkpoint, which sync hard regardless of mode) — the
+    /// innodb_flush_log_at_trx_commit=0 analog. The serving hot path
+    /// never enters the kernel, so this is what the <10% Report-overhead
+    /// bench gate measures. A crash loses at most flush_threshold bytes
+    /// of acknowledged tail; recovery truncates cleanly at the tear (the
+    /// kill-and-recover battery's drop-pending scenario).
+    kDeferred,
+  };
+
+  Durability durability = Durability::kFsync;
+
+  /// Appends accumulate in a process-local buffer and are written to the
+  /// file in large chunks: whenever the buffer crosses this threshold, and
+  /// at every Sync.
+  uint64_t flush_threshold = 64 * 1024;
+};
+
+/// The selector's write-ahead log: a `core::DurabilityLog` over a
+/// `FileSystem`.
+///
+/// Framing and epoch discipline live in wal/record.h. Group commit falls
+/// out of the buffering: every Log* appends to the buffer and a Sync whose
+/// records are already durable returns without touching the file, so one
+/// write()+fsync() covers all records appended since the previous sync.
+/// All engine-side calls arrive under the engine's synchronization (see
+/// `SelectorOptions::wal`); the internal spin lock exists so `position()`
+/// and checkpoint cutting can be called from other threads.
+///
+/// Prior registry: `LogAddTenant` deduplicates priors by pointer identity,
+/// emitting one kRegisterPrior record (full Gram/mean/noise, its own
+/// epoch) the first time each prior is seen. Registered priors are pinned
+/// by shared_ptr so an address can never be reused for a different prior.
+///
+/// Lifecycle: `Open` starts a FRESH log (the file must be absent or
+/// empty); `CreateSuspended` + `Resume` is the recovery path — while
+/// suspended every Log*/Sync is a no-op, so replaying records through the
+/// engine's public API (which calls back into this object) does not
+/// double-log, and `Resume(epoch, offset, priors)` then opens the file and
+/// continues appending where the recovered log ends.
+class SelectorWal final : public core::DurabilityLog {
+ public:
+  /// Fresh log at `path`. Fails with FailedPrecondition when a non-empty
+  /// file exists (recover through wal::OpenOrRecover instead).
+  static Result<std::unique_ptr<SelectorWal>> Open(FileSystem* fs,
+                                                   const std::string& path,
+                                                   SelectorWalOptions options);
+
+  /// Suspended log for recovery replay (no file handle yet; every
+  /// operation is a no-op until `Resume`).
+  static std::unique_ptr<SelectorWal> CreateSuspended(
+      FileSystem* fs, const std::string& path, SelectorWalOptions options);
+
+  // --- core::DurabilityLog --------------------------------------------------
+  Status LogAddTenant(int tenant,
+                      const std::shared_ptr<const gp::SharedGpPrior>& prior,
+                      const std::vector<double>& costs) override;
+  Status LogRemoveTenant(int tenant) override;
+  Status LogNext(int tenant, int model, int64_t ticket) override;
+  Status LogReport(int64_t ticket, int tenant, int model,
+                   double accuracy) override;
+  Status LogCancel(int64_t ticket, int tenant, int model) override;
+  Status Sync() override;
+  bool SyncIsDeferred() const override;
+  Position position() const override;
+
+  /// Flushes the in-process buffer and fsyncs the file regardless of the
+  /// durability mode. The checkpoint path: every byte a published
+  /// checkpoint references must be durable first, even under kDeferred,
+  /// whose per-ack Sync defers all I/O.
+  Status SyncHard();
+
+  /// Ends suspended mode at the recovered log end: records resume at
+  /// `epoch + 1` / byte `offset` (the file must be exactly `offset` bytes —
+  /// recovery truncated the torn tail first), and `priors` re-seeds the
+  /// registry with the already-registered priors in id order.
+  Status Resume(int64_t epoch, int64_t offset,
+                std::vector<std::shared_ptr<const gp::SharedGpPrior>> priors);
+
+  /// Appends PAD records until the log offset is a 4 KiB multiple (no-op
+  /// when it already is), so a checkpoint cut right after references a
+  /// block-aligned record boundary. The pads are buffered like any append;
+  /// the following Sync makes them real.
+  Status SealToBlockBoundary();
+
+  /// The registered priors, in id order — a checkpoint stores them so
+  /// recovery can resolve prior ids in records replayed on top of it.
+  std::vector<std::shared_ptr<const gp::SharedGpPrior>> RegisteredPriors()
+      const;
+
+  bool suspended() const;
+
+ private:
+  SelectorWal(FileSystem* fs, std::string path, SelectorWalOptions options,
+              bool suspended);
+
+  /// A hot-path record (Next/Report/Cancel/RemoveTenant) whose encoding is
+  /// postponed until the next drain: Log* assigns the epoch and logical
+  /// offset immediately (so `position()` never needs a drain) but only
+  /// stores this POD slot — the framing, CRC, and buffer append all happen
+  /// batched in `DrainPending`. One mutex pass and zero serialization per
+  /// serving-path ack.
+  struct PendingOp {
+    RecordType type;
+    int64_t epoch;
+    int32_t tenant;
+    int32_t model;
+    int64_t ticket;
+    double accuracy;
+  };
+
+  /// Encodes and frames every pending op into the buffer, in epoch order.
+  /// Must run before anything else appends to the buffer (AppendFrame does
+  /// it first thing) and before the buffer is flushed.
+  void DrainPending() EASEML_REQUIRES(mu_);
+
+  /// Drains pending ops, then frames and buffers one record at the next
+  /// epoch; flushes the buffer through `file_` when it crosses the
+  /// threshold.
+  Status AppendFrame(RecordType type, std::string_view body)
+      EASEML_REQUIRES(mu_);
+
+  /// Pending ops drain into the encode buffer every this-many slots (64
+  /// slots ≈ 2.5 KiB: small enough that the array stays L1-resident and
+  /// its lines are reused warm, large enough that encode+CRC batch well).
+  static constexpr size_t kDrainBatchOps = 64;
+
+  /// Queues one hot-path record; drains at the batch size and flushes when
+  /// the logical buffered size (encoded buffer + pending ops) crosses the
+  /// threshold. `body_size` is the record's fixed encoded-body size, needed
+  /// to advance `offset_` without encoding.
+  Status QueueOp(const PendingOp& op, uint64_t body_size)
+      EASEML_REQUIRES(mu_);
+
+  /// Writes the buffer to the file (without syncing).
+  Status FlushBuffer() EASEML_REQUIRES(mu_);
+
+  FileSystem* const fs_;
+  const std::string path_;
+  const SelectorWalOptions options_;
+
+  // Hot cluster: the lock byte is declared immediately before the fields
+  // every QueueOp touches (epoch, offset, pending bytes, the pending
+  // vector header), so the per-ack slot push dirties as few cache lines as
+  // possible — at T=1e5 tenants the engine evicts this object between
+  // calls and the misses, not the work, are the cost. A SpinLock (not a
+  // Mutex) because the critical sections are nanosecond-scale slot pushes;
+  // the occasional drain/flush holder is yield-spun on, never waited on.
+  mutable SpinLock mu_;
+  bool suspended_ EASEML_GUARDED_BY(mu_);
+  int64_t last_epoch_ EASEML_GUARDED_BY(mu_) = 0;
+  int64_t durable_epoch_ EASEML_GUARDED_BY(mu_) = 0;
+  int64_t offset_ EASEML_GUARDED_BY(mu_) = 0;  // logical end (incl. buffer)
+  uint64_t pending_bytes_ EASEML_GUARDED_BY(mu_) = 0;
+  /// Hot-path records awaiting encoding (see PendingOp). Logically part of
+  /// the buffer: every drain point encodes these ahead of any new append,
+  /// and `pending_bytes_` counts their framed size toward the threshold.
+  std::vector<PendingOp> pending_ EASEML_GUARDED_BY(mu_);
+  std::string buffer_ EASEML_GUARDED_BY(mu_);
+  /// Reusable body-encoding scratch for DrainPending: clear() keeps the
+  /// capacity, so draining allocates nothing beyond the buffer's growth.
+  std::string body_scratch_ EASEML_GUARDED_BY(mu_);
+  std::unique_ptr<WritableFile> file_ EASEML_GUARDED_BY(mu_);
+  std::map<const gp::SharedGpPrior*, int> prior_ids_ EASEML_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<const gp::SharedGpPrior>> priors_
+      EASEML_GUARDED_BY(mu_);
+};
+
+}  // namespace easeml::wal
+
+#endif  // EASEML_WAL_SELECTOR_WAL_H_

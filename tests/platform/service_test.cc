@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "wal/fault_injection.h"
+#include "wal/recovery.h"
+
 namespace easeml::platform {
 namespace {
 
@@ -184,6 +187,48 @@ TEST(ServiceTest, ShardedEngineReplaysSequentialServiceBitIdentically) {
       EXPECT_EQ(sequential[j].rounds_served, sharded[j].rounds_served);
     }
   }
+}
+
+TEST(ServiceTest, WalBackedServiceTrafficIsRecoverable) {
+  // The full platform stack (DSL parse, template match, Step scheduling)
+  // running over a WAL-wired selector: every Next/Report the service
+  // drives lands in the log, and after a simulated kill OpenOrRecover
+  // rebuilds a selector with the same fleet.
+  wal::FaultInjectingFileSystem fs;
+  core::SelectorOptions sel_opts;
+  sel_opts.seed = 5;
+  {
+    auto recovered = wal::OpenOrRecover(&fs, "/svc", sel_opts);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EaseMlService::Options opts;
+    opts.seed = 5;
+    opts.selector = sel_opts;
+    {
+      auto service = EaseMlService::CreateWithSelector(
+          opts, std::move(recovered->selector));
+      ASSERT_TRUE(service.ok()) << service.status().ToString();
+      ASSERT_TRUE(service->SubmitJob(kImageProgram).ok());
+      ASSERT_TRUE(service->SubmitJob(kSeriesProgram).ok());
+      ASSERT_TRUE(service->Feed(0, 200).ok());
+      ASSERT_TRUE(service->Feed(1, 200).ok());
+      auto taken = service->RunSteps(10);
+      ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+      EXPECT_EQ(*taken, 10);
+    }
+    // Selector (service) destroyed before the WAL it writes to; the WAL
+    // handle closes when `recovered` leaves scope — a process kill as far
+    // as the in-memory filesystem is concerned.
+  }
+  auto reopened = wal::OpenOrRecover(&fs, "/svc", sel_opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened->stats.used_checkpoint);
+  EXPECT_GT(reopened->stats.replayed_records, 0);
+  EXPECT_EQ(reopened->selector->num_tenants(), 2);
+  EXPECT_TRUE(reopened->selector->ValidateIndex().ok());
+  auto state = reopened->selector->CaptureDurableState();
+  ASSERT_TRUE(state.ok());
+  // Step() reports synchronously, so no ticket was open at the kill.
+  EXPECT_TRUE(state->in_flight.empty());
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+// raw-file-io fixture: POSIX file calls outside src/wal/ are findings;
+// member calls and declarations that share a libc name are not.
+#include <cstdio>
+
+void Touch(int fd, const char* path) {
+  FILE* f = fopen(path, "wb");  // finding: fopen
+  (void)f;
+  ::write(fd, "x", 1);  // finding: write (::-qualified is still the libc call)
+  fsync(fd);            // finding: fsync
+}
+
+struct Sink {
+  void write(const char* p, int n);  // declaration: silent
+  void fsync();
+};
+
+void MemberCallsAreFine(Sink& s) {
+  s.write("x", 1);  // member call: silent
+  s.fsync();
+}

@@ -1,0 +1,10 @@
+// raw-file-io path-scoping fixture: src/wal/ is the seam's home — the same
+// libc calls that trip the rule elsewhere stay silent here.
+#include <cstdio>
+
+void Seam(int fd, const char* path) {
+  FILE* f = fopen(path, "wb");
+  (void)f;
+  ::write(fd, "x", 1);
+  fsync(fd);
+}

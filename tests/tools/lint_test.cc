@@ -56,7 +56,8 @@ TEST(LintCli, HelpListsEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"unordered-container", "raw-rng", "chrono-seed", "raw-double-accum",
-        "raw-sync", "unguarded-mutex", "raw-clock", "bad-suppression"}) {
+        "raw-sync", "unguarded-mutex", "raw-clock", "raw-file-io",
+        "bad-suppression"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos)
         << "--help does not document rule: " << rule;
   }
@@ -155,6 +156,30 @@ TEST(LintRules, RawClockAllowedInCommon) {
   LintRun run = RunLint(Fixture("common/clock_ok.cc"));
   EXPECT_EQ(run.exit_code, 0) << run.output;
   EXPECT_EQ(run.output.find("raw-clock"), std::string::npos) << run.output;
+}
+
+TEST(LintRules, RawFileIoOutsideWal) {
+  const std::string rel = "raw_file_io.cc";
+  LintRun run = RunLint(Fixture(rel));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find(Anchor(rel, 6, "raw-file-io")), std::string::npos)
+      << run.output;  // fopen
+  EXPECT_NE(run.output.find(Anchor(rel, 8, "raw-file-io")), std::string::npos)
+      << run.output;  // ::write
+  EXPECT_NE(run.output.find(Anchor(rel, 9, "raw-file-io")), std::string::npos)
+      << run.output;  // fsync
+  // The member-function declaration (line 13) and calls (lines 18-19)
+  // share libc names but move no raw bytes: silent.
+  EXPECT_EQ(run.output.find(":13:"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find(":18:"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find(":19:"), std::string::npos) << run.output;
+}
+
+TEST(LintRules, RawFileIoAllowedInWal) {
+  // src/wal/ is the seam's home: the identical tokens there stay silent.
+  LintRun run = RunLint(Fixture("src/wal/wal_io_ok.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output.find("raw-file-io"), std::string::npos) << run.output;
 }
 
 TEST(LintSuppression, ValidSuppressionsSilenceFindings) {

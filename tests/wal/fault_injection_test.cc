@@ -1,0 +1,159 @@
+// The fault-injection FileSystem's failure model: the visible/durable byte
+// split reproduces write-vs-fsync semantics, and every scripted fault
+// (crash points, short writes, torn tails, bit flips, failed syncs)
+// behaves as the kill-and-recover battery assumes.
+
+#include "wal/fault_injection.h"
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "wal_test_util.h"
+
+namespace easeml::wal {
+namespace {
+
+TEST(FaultInjectionFs, AppendIsVisibleButNotDurableUntilSync) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  WAL_ASSERT_OK(f->Append("hello "));
+  WAL_ASSERT_OK(f->Append("world"));
+  // Reads see the page-cache view...
+  WAL_ASSERT_OK_AND_ASSIGN(std::string visible, fs.ReadFile("/d/log"));
+  EXPECT_EQ(visible, "hello world");
+  EXPECT_EQ(fs.PendingBytes("/d/log").value(), 11u);
+  // ...but a crash before sync drops everything.
+  fs.CrashDropPending();
+  WAL_ASSERT_OK_AND_ASSIGN(std::string after, fs.ReadFile("/d/log"));
+  EXPECT_EQ(after, "");
+}
+
+TEST(FaultInjectionFs, SyncMakesBytesDurable) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  WAL_ASSERT_OK(f->Append("durable"));
+  WAL_ASSERT_OK(f->Sync());
+  WAL_ASSERT_OK(f->Append("pending"));
+  EXPECT_EQ(fs.PendingBytes("/d/log").value(), 7u);
+  fs.CrashDropPending();
+  WAL_ASSERT_OK_AND_ASSIGN(std::string after, fs.ReadFile("/d/log"));
+  EXPECT_EQ(after, "durable");
+  EXPECT_EQ(fs.PendingBytes("/d/log").value(), 0u);
+}
+
+TEST(FaultInjectionFs, CrashKeepPendingPrefixModelsTornWrite) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  WAL_ASSERT_OK(f->Append("base"));
+  WAL_ASSERT_OK(f->Sync());
+  WAL_ASSERT_OK(f->Append("tornrecord"));
+  // 4 of the 10 pending bytes reached the medium before the crash.
+  fs.CrashKeepPendingPrefix("/d/log", 4);
+  WAL_ASSERT_OK_AND_ASSIGN(std::string after, fs.ReadFile("/d/log"));
+  EXPECT_EQ(after, "basetorn");
+  // The torn bytes ARE durable now: a second crash keeps them.
+  fs.CrashDropPending();
+  WAL_ASSERT_OK_AND_ASSIGN(std::string again, fs.ReadFile("/d/log"));
+  EXPECT_EQ(again, "basetorn");
+}
+
+TEST(FaultInjectionFs, FlipDurableBitCorruptsTheMedium) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  WAL_ASSERT_OK(f->Append("abc"));
+  WAL_ASSERT_OK(f->Sync());
+  WAL_ASSERT_OK(fs.FlipDurableBit("/d/log", 1, 0));
+  WAL_ASSERT_OK_AND_ASSIGN(std::string after, fs.ReadFile("/d/log"));
+  EXPECT_EQ(after, "acc");  // 'b' ^ 0x01 == 'c'
+  EXPECT_FALSE(fs.FlipDurableBit("/d/log", 99, 0).ok());
+}
+
+TEST(FaultInjectionFs, ShortWriteKeepsPrefixAndFails) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  fs.ShortWriteNextAppend(3);
+  const Status st = f->Append("longpayload");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  WAL_ASSERT_OK_AND_ASSIGN(std::string after, fs.ReadFile("/d/log"));
+  EXPECT_EQ(after, "lon");
+  // One-shot: the next append succeeds in full.
+  WAL_ASSERT_OK(f->Append("X"));
+  WAL_ASSERT_OK_AND_ASSIGN(std::string again, fs.ReadFile("/d/log"));
+  EXPECT_EQ(again, "lonX");
+}
+
+TEST(FaultInjectionFs, ArmFailAfterOpsIsAScriptedCrashPoint) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  fs.ArmFailAfterOps(2);
+  WAL_ASSERT_OK(f->Append("1"));
+  WAL_ASSERT_OK(f->Sync());
+  const Status st = f->Append("2");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // Every op after the crash point keeps failing (the process is dead).
+  EXPECT_FALSE(f->Sync().ok());
+  fs.ClearFaults();
+  WAL_ASSERT_OK(f->Append("3"));
+}
+
+TEST(FaultInjectionFs, FailSyncsLeavesBytesPending) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  WAL_ASSERT_OK(f->Append("x"));
+  fs.FailSyncs(true);
+  EXPECT_FALSE(f->Sync().ok());
+  EXPECT_EQ(fs.PendingBytes("/d/log").value(), 1u);
+  fs.FailSyncs(false);
+  WAL_ASSERT_OK(f->Sync());
+  EXPECT_EQ(fs.PendingBytes("/d/log").value(), 0u);
+}
+
+TEST(FaultInjectionFs, RenameIsAtomicAndDurable) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/ckpt.tmp"));
+  WAL_ASSERT_OK(f->Append("checkpoint-bytes"));
+  WAL_ASSERT_OK(f->Sync());
+  WAL_ASSERT_OK(f->Close());
+  WAL_ASSERT_OK(fs.Rename("/d/ckpt.tmp", "/d/ckpt"));
+  WAL_ASSERT_OK_AND_ASSIGN(const bool tmp_exists, fs.Exists("/d/ckpt.tmp"));
+  EXPECT_FALSE(tmp_exists);
+  fs.CrashDropPending();
+  WAL_ASSERT_OK_AND_ASSIGN(std::string after, fs.ReadFile("/d/ckpt"));
+  EXPECT_EQ(after, "checkpoint-bytes");
+}
+
+TEST(FaultInjectionFs, TruncateClampsDurableSize) {
+  FaultInjectingFileSystem fs;
+  WAL_ASSERT_OK_AND_ASSIGN(std::unique_ptr<WritableFile> f,
+                           fs.OpenAppendable("/d/log"));
+  WAL_ASSERT_OK(f->Append("0123456789"));
+  WAL_ASSERT_OK(f->Sync());
+  WAL_ASSERT_OK(fs.Truncate("/d/log", 4));
+  WAL_ASSERT_OK_AND_ASSIGN(std::string after, fs.ReadFile("/d/log"));
+  EXPECT_EQ(after, "0123");
+  fs.CrashDropPending();
+  WAL_ASSERT_OK_AND_ASSIGN(std::string again, fs.ReadFile("/d/log"));
+  EXPECT_EQ(again, "0123");
+}
+
+TEST(FaultInjectionFs, MissingFilesAreNotFound) {
+  FaultInjectingFileSystem fs;
+  EXPECT_EQ(fs.ReadFile("/nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs.Delete("/nope").code(), StatusCode::kNotFound);
+  WAL_ASSERT_OK_AND_ASSIGN(const bool exists, fs.Exists("/nope"));
+  EXPECT_FALSE(exists);
+}
+
+}  // namespace
+}  // namespace easeml::wal

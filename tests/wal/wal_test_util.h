@@ -1,0 +1,70 @@
+#ifndef EASEML_TESTS_WAL_WAL_TEST_UTIL_H_
+#define EASEML_TESTS_WAL_WAL_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "gp/shared_prior_gp.h"
+#include "gtest/gtest.h"
+#include "linalg/matrix.h"
+
+// Assertion helpers shared by the WAL suites (the repo's tests otherwise
+// unwrap Results by hand; the durability tests check enough statuses that
+// the shorthand pays for itself).
+
+#define WAL_ASSERT_OK(expr)                                  \
+  do {                                                       \
+    const ::easeml::Status _wal_st = (expr);                 \
+    ASSERT_TRUE(_wal_st.ok()) << _wal_st.ToString();         \
+  } while (0)
+
+#define WAL_EXPECT_OK(expr)                                  \
+  do {                                                       \
+    const ::easeml::Status _wal_st = (expr);                 \
+    EXPECT_TRUE(_wal_st.ok()) << _wal_st.ToString();         \
+  } while (0)
+
+#define WAL_CONCAT_INNER(a, b) a##b
+#define WAL_CONCAT(a, b) WAL_CONCAT_INNER(a, b)
+
+// Unwraps a Result into a fresh variable, failing the test on error.
+//   WAL_ASSERT_OK_AND_ASSIGN(const LogScan scan, ScanLog(log, 0, 0));
+#define WAL_ASSERT_OK_AND_ASSIGN(decl, expr)                         \
+  WAL_ASSERT_OK_AND_ASSIGN_IMPL(WAL_CONCAT(_wal_r_, __LINE__), decl, expr)
+
+#define WAL_ASSERT_OK_AND_ASSIGN_IMPL(tmp, decl, expr)               \
+  auto tmp = (expr);                                                 \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                  \
+  decl = std::move(tmp).value()
+
+namespace easeml::wal {
+
+/// A small valid shared prior: Kac-Murdock-Szego Gram S(i,j) = corr^|i-j|
+/// (positive definite for |corr| < 1). Two calls with the same shape
+/// produce equal-content but DISTINCT objects, which is exactly what the
+/// recovery tests need to model a restarted process rebuilding its priors.
+inline std::shared_ptr<const gp::SharedGpPrior> MakeTestPrior(
+    int num_arms, double corr = 0.5, double noise = 1e-2,
+    std::vector<double> mean = {}) {
+  std::vector<double> gram(static_cast<size_t>(num_arms) * num_arms);
+  for (int i = 0; i < num_arms; ++i) {
+    for (int j = 0; j < num_arms; ++j) {
+      gram[static_cast<size_t>(i) * num_arms + j] =
+          std::pow(corr, std::abs(i - j));
+    }
+  }
+  auto matrix = linalg::Matrix::FromRowMajor(num_arms, num_arms, gram);
+  if (!matrix.ok()) std::abort();
+  auto prior =
+      gp::MakeSharedGpPrior(std::move(matrix).value(), noise, std::move(mean));
+  if (!prior.ok()) std::abort();
+  return std::move(prior).value();
+}
+
+}  // namespace easeml::wal
+
+#endif  // EASEML_TESTS_WAL_WAL_TEST_UTIL_H_

@@ -24,8 +24,8 @@
 //                        outside common/thread_annotations.h — all locking
 //                        goes through the annotated easeml::Mutex wrapper so
 //                        Clang Thread Safety Analysis sees every acquisition.
-//   unguarded-mutex      a class that declares a Mutex member must annotate
-//                        at least one field with EASEML_GUARDED_BY /
+//   unguarded-mutex      a class that declares a Mutex/SpinLock member must
+//                        annotate at least one field with EASEML_GUARDED_BY /
 //                        EASEML_PT_GUARDED_BY — a lock that guards nothing
 //                        the analysis can check is a lock the analysis
 //                        cannot help with.
@@ -35,6 +35,11 @@
 //                        (easeml::MonotonicSeconds/ThreadCpuSeconds) so the
 //                        clock choice, and any future virtualization for
 //                        deterministic replay, lives in one place.
+//   raw-file-io          no direct fopen/open/write/fsync/... calls outside
+//                        src/wal/ — durable state goes through the
+//                        wal::FileSystem seam so the fault-injection harness
+//                        can interpose on every byte that claims to be
+//                        durable.
 //
 // Suppression (machine-readable, reason required):
 //   code;  // easeml-lint: allow(rule-id) why this one is safe
@@ -113,11 +118,14 @@ constexpr RuleInfo kRules[] = {
      "std sync primitives outside common/thread_annotations.h (locking must "
      "go through the annotated easeml::Mutex)"},
     {"unguarded-mutex",
-     "class declares a Mutex member but annotates no field with "
+     "class declares a Mutex/SpinLock member but annotates no field with "
      "EASEML_GUARDED_BY"},
     {"raw-clock",
      "raw clock reads outside common/ (read time through the "
      "common/clock.h seam: easeml::MonotonicSeconds/ThreadCpuSeconds)"},
+    {"raw-file-io",
+     "direct file I/O calls (fopen/open/write/fsync/...) outside src/wal/ "
+     "(durable bytes must flow through the wal::FileSystem seam)"},
     {"bad-suppression",
      "easeml-lint:allow directive without a reason or with an unknown rule "
      "id"},
@@ -346,6 +354,12 @@ bool InCommonDir(const std::string& path) {
   return PathContains(path, "common/");
 }
 
+// The raw-file-io rule exempts all of src/wal/ (file.cc IS the seam — the
+// one translation unit allowed to issue POSIX file calls).
+bool InWalDir(const std::string& path) {
+  return PathContains(path, "wal/");
+}
+
 // ---------------------------------------------------------------------------
 // The checker.
 // ---------------------------------------------------------------------------
@@ -369,6 +383,14 @@ const std::set<std::string>& RawClockIdents() {
   static const std::set<std::string> kSet = {
       "clock_gettime", "gettimeofday", "steady_clock", "system_clock",
       "high_resolution_clock"};
+  return kSet;
+}
+
+const std::set<std::string>& RawFileIoIdents() {
+  static const std::set<std::string> kSet = {
+      "fopen",  "fdopen", "freopen",   "open",  "openat",
+      "creat",  "write",  "pwrite",    "writev", "fwrite",
+      "fsync",  "fdatasync", "ftruncate"};
   return kSet;
 }
 
@@ -478,7 +500,8 @@ void CheckFile(const std::string& path, const std::vector<Token>& tokens,
         if (scope.has_mutex_member && !scope.has_guard && !annotations_home) {
           add(scope.line, "unguarded-mutex",
               "class '" + scope.name +
-                  "' declares a Mutex member but annotates no field with "
+                  "' declares a Mutex/SpinLock member but annotates no "
+                  "field with "
                   "EASEML_GUARDED_BY / EASEML_PT_GUARDED_BY");
         }
         class_stack.pop_back();
@@ -585,6 +608,27 @@ void CheckFile(const std::string& path, const std::vector<Token>& tokens,
               "so every clock read shares one virtualizable seam");
     }
 
+    // --- raw-file-io ------------------------------------------------------
+    // Call shape only: `ident(` neither preceded by `.`/`->` (member
+    // functions that happen to share a libc name — an fstream's .open() —
+    // are a different seam question) nor by a type token (a declaration
+    // like `void write(...)` moves no bytes). `return`, though an
+    // identifier token, introduces a call.
+    if (RawFileIoIdents().count(t) != 0 && !InWalDir(path) &&
+        i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+      const bool decl_or_member =
+          i > 0 && ((tokens[i - 1].is_ident && tokens[i - 1].text != "return") ||
+                    tokens[i - 1].text == "*" || tokens[i - 1].text == "&" ||
+                    tokens[i - 1].text == "." || tokens[i - 1].text == "->");
+      if (!decl_or_member) {
+        add(tok.line, "raw-file-io",
+            "'" + t +
+                "' outside src/wal/: durable bytes must flow through the "
+                "wal::FileSystem seam (src/wal/file.h) so fault injection "
+                "can interpose on every write and fsync");
+      }
+    }
+
     // --- raw-sync ---------------------------------------------------------
     if (!annotations_home && t == "std" && i + 2 < tokens.size() &&
         tokens[i + 1].text == "::" && RawSyncIdents().count(tokens[i + 2].text) != 0) {
@@ -599,13 +643,14 @@ void CheckFile(const std::string& path, const std::vector<Token>& tokens,
     if (!class_stack.empty()) {
       if (t == "EASEML_GUARDED_BY" || t == "EASEML_PT_GUARDED_BY") {
         class_stack.back().has_guard = true;
-      } else if (t == "Mutex") {
+      } else if (t == "Mutex" || t == "SpinLock") {
+        // SpinLock carries the same capability as Mutex and must follow
+        // the same guarded-field discipline.
         size_t j = i + 1;
         while (j < tokens.size() &&
                (tokens[j].text == "*" || tokens[j].text == "&"))
           ++j;
-        if (j < tokens.size() && tokens[j].is_ident &&
-            tokens[j].text != "Mutex") {
+        if (j < tokens.size() && tokens[j].is_ident && tokens[j].text != t) {
           class_stack.back().has_mutex_member = true;
         }
       }
